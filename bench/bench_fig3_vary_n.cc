@@ -1,0 +1,45 @@
+// Figure 3: performance while varying the number of riders n.
+//
+// Paper sweep: NYC n in {50k, 75k, 100k, 125k}; CDC/XIA n in {30k..60k}.
+// Reproduction sweep (30x scale-down, same n/m ratios): NYC {1500..3750},
+// CDC/XIA {900..1800}, m = 150.
+//
+// Shapes to reproduce (Section VII-B): WATTER variants beat GDP/GAS on
+// extra time and unified cost, WATTER-expect best; service rate ordering
+// expect > timeout > online > GAS > GDP; GDP fastest per order.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace watter;
+  using namespace watter::bench;
+  bool quick = QuickMode(argc, argv);
+
+  for (DatasetKind dataset : BenchDatasets(quick)) {
+    WorkloadOptions base = BaseWorkload(dataset);
+    std::unique_ptr<ExpectModel> model;
+    if (!quick) {
+      auto trained = TrainExpect(base);
+      if (!trained.ok()) {
+        std::fprintf(stderr, "training failed: %s\n",
+                     trained.status().ToString().c_str());
+        return 1;
+      }
+      model = std::make_unique<ExpectModel>(std::move(trained).value());
+    }
+    std::vector<int> sweep;
+    int base_n = base.num_orders;
+    for (double factor : {0.5, 0.75, 1.0, 1.25}) {
+      sweep.push_back(static_cast<int>(base_n * factor));
+    }
+    if (quick) sweep = {sweep[0], sweep[2]};
+    RunSweep<int>(
+        "Figure 3", dataset, "n", sweep,
+        [&base](int n) {
+          WorkloadOptions options = base;
+          options.num_orders = n;
+          return options;
+        },
+        AlgorithmFamily(model.get()));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Compares the WATTER pooling strategies against the GDP and GAS baselines
+// on one workload per dataset preset, printing the paper's four metrics
+// ("Extra Time" is the METRS objective of Equation 2: served extra time plus
+// rejection penalties).
+//
+//   ./build/examples/compare_strategies [num_orders] [num_workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/baseline/gas.h"
+#include "src/baseline/gdp.h"
+#include "src/common/table.h"
+#include "src/sim/platform.h"
+#include "src/strategy/threshold_provider.h"
+#include "src/workload/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace watter;
+  int num_orders = argc > 1 ? std::atoi(argv[1]) : 2000;
+  int num_workers = argc > 2 ? std::atoi(argv[2]) : 120;
+
+  for (DatasetKind dataset :
+       {DatasetKind::kNyc, DatasetKind::kCdc, DatasetKind::kXia}) {
+    WorkloadOptions workload;
+    workload.dataset = dataset;
+    workload.num_orders = num_orders;
+    workload.num_workers = num_workers;
+    workload.seed = 123;
+
+    std::printf("=== dataset %s: n=%d orders, m=%d workers ===\n",
+                DatasetName(dataset), num_orders, num_workers);
+    Table table({"algorithm", "extra_time(s)", "unified_cost",
+                 "service_rate(%)", "avg_response(s)", "avg_detour(s)",
+                 "rt/order(us)"});
+
+    auto run = [&](const char* name, auto&& runner) {
+      auto scenario = GenerateScenario(workload);
+      if (!scenario.ok()) {
+        std::fprintf(stderr, "scenario failed: %s\n",
+                     scenario.status().ToString().c_str());
+        std::exit(1);
+      }
+      MetricsReport report = runner(&*scenario);
+      table.AddRow({name, Table::Num(report.metrs_objective, 0),
+                    Table::Num(report.unified_cost, 0),
+                    Table::Num(report.service_rate * 100.0, 1),
+                    Table::Num(report.avg_response, 1),
+                    Table::Num(report.avg_detour, 1),
+                    Table::Num(report.running_time_per_order * 1e6, 1)});
+    };
+
+    run("WATTER-online", [](Scenario* s) {
+      OnlineThresholdProvider provider;
+      return RunWatter(s, &provider);
+    });
+    run("WATTER-timeout", [](Scenario* s) {
+      TimeoutThresholdProvider provider;
+      return RunWatter(s, &provider);
+    });
+    run("GDP", [](Scenario* s) { return RunGdp(s); });
+    run("GAS", [](Scenario* s) { return RunGas(s); });
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// GAS baseline: batch-based group assignment (paper reference [2], the
+// Shared-Route Planning Query solver).
+//
+// Orders are pooled per fixed batch window. At each batch boundary the
+// platform builds, per idle worker, an "additive tree" of feasible order
+// groups: singletons first, each node extended by one more order whenever an
+// exact feasible shared route exists. The worker takes the maximum-utility
+// group in its tree (utility = total fare, proxied by the sum of member
+// shortest travel costs, tie-broken by cheaper routes). Orders that stay
+// unassigned roll over to the next batch until their latest dispatch time
+// passes, at which point they are rejected.
+//
+// Faithfulness notes: the original GAS searches all workers' trees jointly;
+// we assign greedily per worker in id order within a batch, and bound the
+// tree by breadth/size budgets so a dense batch cannot take exponential time
+// (the paper observes GAS's exponential blow-up; the budgets keep our runs
+// finite while preserving its batch-based character).
+#ifndef WATTER_BASELINE_GAS_H_
+#define WATTER_BASELINE_GAS_H_
+
+#include "src/core/metrics.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+
+/// GAS configuration.
+struct GasOptions {
+  MetricsOptions metrics;
+  /// Batch window (the paper discusses ~5-10 s mini-batches).
+  double batch_period = 10.0;
+  /// Spatial grid for candidate lookup.
+  int grid_cells = 10;
+  /// Waiting orders considered per worker tree (nearest by pickup).
+  int candidate_orders = 16;
+  /// Cap on tree nodes (groups) evaluated per worker per batch. High enough
+  /// that dense batches exhibit the exponential growth the paper reports
+  /// for GAS, while still bounding the worst case.
+  int max_groups_per_worker = 1024;
+};
+
+/// Runs the GAS baseline over a scenario.
+MetricsReport RunGas(Scenario* scenario, const GasOptions& options = {});
+
+}  // namespace watter
+
+#endif  // WATTER_BASELINE_GAS_H_

@@ -1,0 +1,231 @@
+#include "src/baseline/gdp.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseline/insertion.h"
+#include "src/common/stopwatch.h"
+#include "src/geo/grid_index.h"
+
+namespace watter {
+namespace {
+
+struct RouteStop {
+  NodeId node = kInvalidNode;
+  OrderId order = kInvalidOrder;
+  bool is_pickup = false;
+  Time arrival = 0.0;
+};
+
+struct AssignedOrder {
+  Order order;
+  Time assigned_at = 0.0;
+  Time pickup_arrival = 0.0;
+  bool picked = false;
+};
+
+struct GdpWorker {
+  Worker base;
+  std::vector<RouteStop> route;     // Remaining stops, arrival-ordered.
+  int onboard = 0;                  // Riders currently in the vehicle.
+  NodeId last_node = kInvalidNode;  // Where the current leg started.
+  Time last_time = 0.0;             // When it started.
+
+  /// Where the next flexible leg departs from: the committed next stop if
+  /// driving, otherwise the parked location.
+  NodeId anchor_node() const {
+    return route.empty() ? base.location : route.front().node;
+  }
+  Time anchor_time(Time now) const {
+    return route.empty() ? now : route.front().arrival;
+  }
+};
+
+class GdpSimulation {
+ public:
+  GdpSimulation(Scenario* scenario, const GdpOptions& options)
+      : scenario_(scenario),
+        options_(options),
+        metrics_(options.metrics),
+        worker_index_(scenario->city->graph.MinCorner(),
+                      scenario->city->graph.MaxCorner(), options.grid_cells) {
+    workers_.reserve(scenario->workers.size());
+    for (const Worker& w : scenario->workers) {
+      GdpWorker gw;
+      gw.base = w;
+      gw.last_node = w.location;
+      workers_.push_back(gw);
+      worker_index_.Insert(w.id,
+                           scenario->city->graph.node_point(w.location));
+    }
+  }
+
+  MetricsReport Run() {
+    Stopwatch algorithm_time;
+    {
+      ScopedTimer timer(&algorithm_time);
+      for (const Order& order : scenario_->orders) {
+        AdvanceAll(order.release);
+        HandleArrival(order);
+      }
+      AdvanceAll(kInfCost);  // Drain every remaining route.
+      if (!scenario_->orders.empty()) {
+        Time horizon_end = scenario_->orders.back().release;
+        for (const GdpWorker& worker : workers_) {
+          horizon_end = std::max(horizon_end, worker.last_time);
+        }
+        metrics_.SetFleetInfo(
+            static_cast<int>(workers_.size()),
+            horizon_end - scenario_->orders.front().release);
+      }
+    }
+    metrics_.AddAlgorithmTime(algorithm_time.ElapsedSeconds());
+    return metrics_.Report();
+  }
+
+ private:
+  double Cost(NodeId a, NodeId b) { return scenario_->oracle->Cost(a, b); }
+
+  void AdvanceAll(Time now) {
+    for (GdpWorker& worker : workers_) Advance(&worker, now);
+  }
+
+  /// Executes all stops scheduled at or before `now`.
+  void Advance(GdpWorker* worker, Time now) {
+    while (!worker->route.empty() && worker->route.front().arrival <= now) {
+      RouteStop stop = worker->route.front();
+      worker->route.erase(worker->route.begin());
+      metrics_.AddWorkerTravel(stop.arrival - worker->last_time);
+      worker->last_node = stop.node;
+      worker->last_time = stop.arrival;
+      worker->base.location = stop.node;
+      auto it = assigned_.find(stop.order);
+      if (it != assigned_.end()) {
+        AssignedOrder& record = it->second;
+        if (stop.is_pickup) {
+          record.picked = true;
+          record.pickup_arrival = stop.arrival;
+          worker->onboard += record.order.riders;
+        } else {
+          worker->onboard -= record.order.riders;
+          double response = record.assigned_at - record.order.release;
+          // Definition 5: T(L^(i)) runs from the route position at
+          // assignment through the drop-off, so time spent riding along —
+          // or waiting for — the vehicle's other commitments counts as
+          // detour, exactly as pre-pickup riding does in a WATTER group.
+          double detour = (stop.arrival - record.assigned_at) -
+                          record.order.shortest_cost;
+          metrics_.RecordServed(record.order, response,
+                                std::max(0.0, detour), /*group_size=*/1);
+          assigned_.erase(it);
+        }
+      }
+      worker_index_.Insert(worker->base.id,
+                           scenario_->city->graph.node_point(stop.node));
+    }
+  }
+
+  /// Builds the insertion query describing `worker`'s flexible suffix.
+  InsertionQuery BuildQuery(const GdpWorker& worker, Time now) {
+    InsertionQuery query;
+    query.anchor = worker.anchor_node();
+    query.anchor_time = worker.anchor_time(now);
+    query.onboard_at_anchor = worker.onboard;
+    query.capacity = worker.base.capacity;
+    const int stops = static_cast<int>(worker.route.size());
+    const int first_free = stops == 0 ? 0 : 1;
+    if (stops > 0) {
+      // The committed head stop executes before anything we insert.
+      const RouteStop& head = worker.route[0];
+      auto it = assigned_.find(head.order);
+      int riders = it != assigned_.end() ? it->second.order.riders : 0;
+      query.onboard_at_anchor += head.is_pickup ? riders : -riders;
+    }
+    for (int s = first_free; s < stops; ++s) {
+      const RouteStop& stop = worker.route[s];
+      auto it = assigned_.find(stop.order);
+      int riders = it != assigned_.end() ? it->second.order.riders : 0;
+      Time deadline = (!stop.is_pickup && it != assigned_.end())
+                          ? it->second.order.deadline
+                          : kInfCost;
+      query.suffix.push_back(
+          {stop.node, deadline, stop.is_pickup ? riders : -riders});
+    }
+    return query;
+  }
+
+  void ApplyInsertion(GdpWorker* worker, const Order& order,
+                      const InsertionCandidate& insertion, Time now) {
+    const int stops = static_cast<int>(worker->route.size());
+    const int first_free = stops == 0 ? 0 : 1;
+    const int m = stops - first_free;
+    std::vector<RouteStop> updated;
+    updated.reserve(worker->route.size() + 2);
+    for (int s = 0; s < first_free; ++s) updated.push_back(worker->route[s]);
+    for (int s = 0; s <= m; ++s) {
+      if (s == insertion.pickup_pos) {
+        updated.push_back({order.pickup, order.id, true, 0.0});
+      }
+      if (s == insertion.dropoff_pos) {
+        updated.push_back({order.dropoff, order.id, false, 0.0});
+      }
+      if (s < m) updated.push_back(worker->route[first_free + s]);
+    }
+    // Recompute arrivals from the anchor.
+    NodeId prev = worker->anchor_node();
+    Time t = worker->anchor_time(now);
+    for (size_t s = static_cast<size_t>(first_free); s < updated.size();
+         ++s) {
+      t += Cost(prev, updated[s].node);
+      prev = updated[s].node;
+      updated[s].arrival = t;
+    }
+    if (worker->route.empty()) {
+      // Fresh departure: the realized-travel reference starts here and now.
+      worker->last_node = worker->base.location;
+      worker->last_time = now;
+    }
+    worker->route = std::move(updated);
+  }
+
+  void HandleArrival(const Order& order) {
+    Time now = order.release;
+    auto candidates = worker_index_.KNearest(
+        options_.worker_candidates,
+        scenario_->city->graph.node_point(order.pickup));
+    GdpWorker* best_worker = nullptr;
+    InsertionCandidate best;
+    for (int64_t id : candidates) {
+      GdpWorker& worker = workers_[id - 1];
+      InsertionCandidate candidate = FindBestInsertion(
+          BuildQuery(worker, now), order, scenario_->oracle.get());
+      if (candidate.added_cost < best.added_cost) {
+        best = candidate;
+        best_worker = &worker;
+      }
+    }
+    if (best_worker == nullptr) {
+      metrics_.RecordRejected(order);
+      return;
+    }
+    assigned_.emplace(order.id, AssignedOrder{order, now, 0.0, false});
+    ApplyInsertion(best_worker, order, best, now);
+  }
+
+  Scenario* scenario_;
+  GdpOptions options_;
+  MetricsCollector metrics_;
+  GridIndex worker_index_;
+  std::vector<GdpWorker> workers_;
+  std::unordered_map<OrderId, AssignedOrder> assigned_;
+};
+
+}  // namespace
+
+MetricsReport RunGdp(Scenario* scenario, const GdpOptions& options) {
+  GdpSimulation simulation(scenario, options);
+  return simulation.Run();
+}
+
+}  // namespace watter

@@ -1,0 +1,38 @@
+// GDP baseline: online greedy insertion (paper reference [9]).
+//
+// Every arriving order is answered immediately: the platform probes nearby
+// workers, computes the cheapest feasible insertion of the order's pickup
+// and drop-off into each worker's current multi-stop route (preserving all
+// previously promised deadlines and the capacity profile), and assigns the
+// order to the worker with the smallest added travel cost. If no feasible
+// insertion exists, the order is rejected on the spot.
+//
+// Unlike WATTER's one-group-at-a-time fleet, GDP workers continuously carry
+// an evolving route; a worker is never "idle vs busy" but simply has an
+// empty or non-empty stop queue. The committed next stop cannot be changed
+// (no mid-leg rerouting), which is the standard insertion-operator model.
+#ifndef WATTER_BASELINE_GDP_H_
+#define WATTER_BASELINE_GDP_H_
+
+#include "src/core/metrics.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+
+/// GDP configuration.
+struct GdpOptions {
+  MetricsOptions metrics;
+  /// Nearby workers probed per order (Euclidean prefilter on anchors).
+  int worker_candidates = 16;
+  /// Spatial grid for the worker index.
+  int grid_cells = 10;
+};
+
+/// Runs the GDP baseline over a scenario and reports the paper's metrics.
+/// Response time is the (immediate) notification wait; detour is the
+/// realized riding detour (drop-off arrival - pickup arrival - shortest).
+MetricsReport RunGdp(Scenario* scenario, const GdpOptions& options = {});
+
+}  // namespace watter
+
+#endif  // WATTER_BASELINE_GDP_H_

@@ -1,0 +1,89 @@
+#include "src/baseline/insertion.h"
+
+namespace watter {
+namespace {
+
+/// Walks the suffix with (pickup_pos, dropoff_pos) spliced in; returns the
+/// added travel cost or kInfCost when a constraint breaks. `base_cost` is
+/// the unmodified suffix travel cost.
+double WalkCandidate(const InsertionQuery& query, const Order& order,
+                     int pickup_pos, int dropoff_pos, double base_cost,
+                     TravelTimeOracle* oracle) {
+  const int m = static_cast<int>(query.suffix.size());
+  NodeId prev = query.anchor;
+  Time t = query.anchor_time;
+  int onboard = query.onboard_at_anchor;
+  double cost = 0.0;
+  bool feasible = true;
+  auto drive_to = [&](NodeId next) {
+    double leg = oracle->Cost(prev, next);
+    if (leg == kInfCost) feasible = false;
+    cost += leg;
+    t += leg;
+    prev = next;
+  };
+  for (int s = 0; s <= m && feasible; ++s) {
+    if (s == pickup_pos) {
+      drive_to(order.pickup);
+      onboard += order.riders;
+      if (onboard > query.capacity) feasible = false;
+    }
+    if (s == dropoff_pos && feasible) {
+      drive_to(order.dropoff);
+      onboard -= order.riders;
+      if (t > order.deadline) feasible = false;
+    }
+    if (s == m || !feasible) break;
+    drive_to(query.suffix[s].node);
+    onboard += query.suffix[s].rider_delta;
+    if (onboard > query.capacity) feasible = false;
+    if (t > query.suffix[s].deadline) feasible = false;
+  }
+  if (!feasible) return kInfCost;
+  return cost - base_cost;
+}
+
+double SuffixBaseCost(const InsertionQuery& query,
+                      TravelTimeOracle* oracle) {
+  double base = 0.0;
+  NodeId prev = query.anchor;
+  for (const InsertionStop& stop : query.suffix) {
+    base += oracle->Cost(prev, stop.node);
+    prev = stop.node;
+  }
+  return base;
+}
+
+}  // namespace
+
+double EvaluateInsertion(const InsertionQuery& query, const Order& order,
+                         int pickup_pos, int dropoff_pos,
+                         TravelTimeOracle* oracle) {
+  if (pickup_pos < 0 || dropoff_pos < pickup_pos ||
+      dropoff_pos > static_cast<int>(query.suffix.size())) {
+    return kInfCost;
+  }
+  return WalkCandidate(query, order, pickup_pos, dropoff_pos,
+                       SuffixBaseCost(query, oracle), oracle);
+}
+
+InsertionCandidate FindBestInsertion(const InsertionQuery& query,
+                                     const Order& order,
+                                     TravelTimeOracle* oracle) {
+  InsertionCandidate best;
+  const int m = static_cast<int>(query.suffix.size());
+  double base_cost = SuffixBaseCost(query, oracle);
+  for (int i = 0; i <= m; ++i) {
+    for (int j = i; j <= m; ++j) {
+      double added = WalkCandidate(query, order, i, j, base_cost, oracle);
+      if (added < best.added_cost) {
+        best.pickup_pos = i;
+        best.dropoff_pos = j;
+        best.added_cost = added;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace watter

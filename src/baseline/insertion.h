@@ -1,0 +1,61 @@
+// The insertion operator used by the GDP baseline (paper reference [9]):
+// given a vehicle's committed route suffix, find the cheapest positions to
+// splice a new order's pickup and drop-off while preserving every promised
+// deadline and the capacity profile.
+//
+// Extracted from the GDP simulation so it can be property-tested in
+// isolation; the simulation builds an InsertionQuery per candidate worker.
+#ifndef WATTER_BASELINE_INSERTION_H_
+#define WATTER_BASELINE_INSERTION_H_
+
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/geo/travel_time_oracle.h"
+
+namespace watter {
+
+/// One stop of the flexible (re-plannable) part of a vehicle route.
+struct InsertionStop {
+  NodeId node = kInvalidNode;
+  /// Drop-off deadline enforced at this stop; kInfCost for pickups.
+  Time deadline = kInfCost;
+  /// Riders boarding (+) or alighting (-) here.
+  int rider_delta = 0;
+};
+
+/// The vehicle-side inputs of one insertion search.
+struct InsertionQuery {
+  NodeId anchor = kInvalidNode;  ///< Where the flexible part begins.
+  Time anchor_time = 0.0;        ///< When the vehicle is there.
+  int onboard_at_anchor = 0;     ///< Riders on board at the anchor.
+  int capacity = 4;
+  std::vector<InsertionStop> suffix;  ///< Retained stops after the anchor.
+};
+
+/// A candidate insertion: pickup before suffix item `pickup_pos`, drop-off
+/// before item `dropoff_pos` (a position equal to suffix.size() appends).
+/// `added_cost` stays infinite when no feasible insertion exists.
+struct InsertionCandidate {
+  int pickup_pos = -1;
+  int dropoff_pos = -1;
+  double added_cost = kInfCost;
+
+  bool feasible() const { return added_cost < kInfCost; }
+};
+
+/// Exhaustively evaluates all O(|suffix|^2) position pairs and returns the
+/// cheapest feasible one.
+InsertionCandidate FindBestInsertion(const InsertionQuery& query,
+                                     const Order& order,
+                                     TravelTimeOracle* oracle);
+
+/// Cost and feasibility of one specific position pair (exposed for tests
+/// and diagnostics). Returns kInfCost when infeasible.
+double EvaluateInsertion(const InsertionQuery& query, const Order& order,
+                         int pickup_pos, int dropoff_pos,
+                         TravelTimeOracle* oracle);
+
+}  // namespace watter
+
+#endif  // WATTER_BASELINE_INSERTION_H_

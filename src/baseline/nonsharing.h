@@ -1,0 +1,27 @@
+// Non-sharing baseline: every order is served alone by the closest
+// available worker, immediately on arrival (mode (1) of the paper's
+// Example 1). The lower bound on pooling benefit: zero detours, zero
+// grouping, maximal fleet consumption.
+#ifndef WATTER_BASELINE_NONSHARING_H_
+#define WATTER_BASELINE_NONSHARING_H_
+
+#include "src/core/metrics.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+
+/// Non-sharing configuration.
+struct NonSharingOptions {
+  MetricsOptions metrics;
+  int grid_cells = 10;
+  int worker_candidates = 8;
+};
+
+/// Runs the non-sharing baseline. Orders that find no idle worker wait in a
+/// FIFO queue and are rejected once their latest dispatch time passes.
+MetricsReport RunNonSharing(Scenario* scenario,
+                            const NonSharingOptions& options = {});
+
+}  // namespace watter
+
+#endif  // WATTER_BASELINE_NONSHARING_H_

@@ -1,0 +1,49 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace watter {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+
+LogLevel GetLogLevel() { return g_min_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename to stay terse.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(g_min_level)) return;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace watter

@@ -1,0 +1,73 @@
+// Minimal leveled logging to stderr with a global verbosity switch.
+#ifndef WATTER_COMMON_LOGGING_H_
+#define WATTER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace watter {
+
+/// Severity levels, ordered by verbosity.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits its buffer on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// No-op sink used when a level is compiled out / filtered.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace watter
+
+#define WATTER_LOG(level)                                            \
+  (static_cast<int>(::watter::LogLevel::k##level) <                  \
+   static_cast<int>(::watter::GetLogLevel()))                        \
+      ? (void)0                                                      \
+      : (void)::watter::internal::LogMessage(                        \
+            ::watter::LogLevel::k##level, __FILE__, __LINE__)
+
+#define WATTER_LOG_DEBUG                                      \
+  ::watter::internal::LogMessage(::watter::LogLevel::kDebug,  \
+                                 __FILE__, __LINE__)
+#define WATTER_LOG_INFO                                      \
+  ::watter::internal::LogMessage(::watter::LogLevel::kInfo,  \
+                                 __FILE__, __LINE__)
+#define WATTER_LOG_WARNING                                      \
+  ::watter::internal::LogMessage(::watter::LogLevel::kWarning,  \
+                                 __FILE__, __LINE__)
+#define WATTER_LOG_ERROR                                      \
+  ::watter::internal::LogMessage(::watter::LogLevel::kError,  \
+                                 __FILE__, __LINE__)
+
+#endif  // WATTER_COMMON_LOGGING_H_

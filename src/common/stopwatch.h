@@ -1,0 +1,63 @@
+// Wall-clock stopwatch used to report per-order algorithm running time,
+// matching the "Running Time(s)" metric of the paper's evaluation.
+#ifndef WATTER_COMMON_STOPWATCH_H_
+#define WATTER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace watter {
+
+/// Accumulating stopwatch. Start/Stop may be called repeatedly; ElapsedSeconds
+/// returns the running total (including the active interval, if any).
+class Stopwatch {
+ public:
+  Stopwatch() = default;
+
+  void Start() {
+    if (running_) return;
+    started_at_ = Clock::now();
+    running_ = true;
+  }
+
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - started_at_;
+    running_ = false;
+  }
+
+  void Reset() {
+    accumulated_ = Duration::zero();
+    running_ = false;
+  }
+
+  double ElapsedSeconds() const {
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - started_at_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
+
+  Duration accumulated_ = Duration::zero();
+  Clock::time_point started_at_;
+  bool running_ = false;
+};
+
+/// RAII helper accumulating into a Stopwatch for the current scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch* watch) : watch_(watch) { watch_->Start(); }
+  ~ScopedTimer() { watch_->Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch* watch_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_COMMON_STOPWATCH_H_

@@ -1,0 +1,55 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace watter {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::ToString() const {
+  size_t columns = headers_.size();
+  for (const auto& row : rows_) {
+    if (row.size() > columns) columns = row.size();
+  }
+  std::vector<size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < columns) os << "  ";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  size_t rule = 0;
+  for (size_t i = 0; i < columns; ++i) rule += widths[i] + (i + 1 < columns ? 2 : 0);
+  os << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace watter

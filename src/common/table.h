@@ -1,0 +1,38 @@
+// Fixed-width ASCII table printer used by the bench harness to emit the
+// rows/series corresponding to the paper's figures.
+#ifndef WATTER_COMMON_TABLE_H_
+#define WATTER_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace watter {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string ToString() const;
+
+  /// Prints the rendered table to stdout.
+  void Print() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_COMMON_TABLE_H_

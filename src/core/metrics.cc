@@ -1,0 +1,66 @@
+#include "src/core/metrics.h"
+
+#include <sstream>
+
+namespace watter {
+
+void MetricsCollector::RecordServed(const Order& order, double response,
+                                    double detour, int group_size) {
+  double extra =
+      options_.weights.alpha * detour + options_.weights.beta * response;
+  ++served_;
+  total_extra_ += extra;
+  total_response_ += response;
+  total_detour_ += detour;
+  total_group_size_ += group_size;
+  served_extras_.push_back(extra);
+  served_records_.push_back(
+      ServedRecord{order.id, response, detour, extra, group_size});
+}
+
+void MetricsCollector::RecordRejected(const Order& order) {
+  ++rejected_;
+  total_metrs_penalty_ += order.Penalty();
+  total_uc_penalty_ += options_.uc_penalty_factor * order.shortest_cost;
+}
+
+MetricsReport MetricsCollector::Report() const {
+  MetricsReport report;
+  report.served = served_;
+  report.rejected = rejected_;
+  report.total_extra_time = total_extra_;
+  report.total_metrs_penalty = total_metrs_penalty_;
+  report.metrs_objective = total_extra_ + total_metrs_penalty_;
+  report.worker_travel = worker_travel_;
+  report.unified_cost = worker_travel_ + total_uc_penalty_;
+  int64_t total = served_ + rejected_;
+  report.service_rate = total > 0 ? static_cast<double>(served_) / total : 0.0;
+  report.avg_extra = served_ > 0 ? total_extra_ / served_ : 0.0;
+  report.avg_response = served_ > 0 ? total_response_ / served_ : 0.0;
+  report.avg_detour = served_ > 0 ? total_detour_ / served_ : 0.0;
+  report.avg_group_size = served_ > 0 ? total_group_size_ / served_ : 0.0;
+  report.algorithm_seconds = algorithm_seconds_;
+  report.running_time_per_order =
+      total > 0 ? algorithm_seconds_ / total : 0.0;
+  if (fleet_size_ > 0 && horizon_seconds_ > 0.0) {
+    report.fleet_utilization =
+        worker_travel_ / (fleet_size_ * horizon_seconds_);
+  }
+  return report;
+}
+
+std::string MetricsReport::ToString() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "served=" << served << " rejected=" << rejected
+     << " service_rate=" << service_rate * 100.0 << "%"
+     << " extra_time=" << total_extra_time
+     << " unified_cost=" << unified_cost
+     << " metrs=" << metrs_objective
+     << " avg_extra=" << avg_extra
+     << " rt/order=" << running_time_per_order * 1e6 << "us";
+  return os.str();
+}
+
+}  // namespace watter

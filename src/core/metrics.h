@@ -1,0 +1,117 @@
+// METRS objective accounting and the paper's four evaluation metrics:
+// Extra Time, Unified Cost, Service Rate and Running Time (Section VII-A,
+// "Measurements").
+#ifndef WATTER_CORE_METRICS_H_
+#define WATTER_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace watter {
+
+/// Configuration of the metric pipeline.
+struct MetricsOptions {
+  /// Definition 6 trade-off weights (paper default: alpha = beta = 1).
+  ExtraTimeWeights weights;
+  /// Unified-cost rejection penalty factor: penalty = factor * cost(lp, ld)
+  /// (the paper follows [9] and uses 10x the shortest cost).
+  double uc_penalty_factor = 10.0;
+};
+
+/// Per-served-order record kept for distribution fitting and debugging.
+struct ServedRecord {
+  OrderId id = kInvalidOrder;
+  double response = 0.0;  ///< t_r
+  double detour = 0.0;    ///< t_d
+  double extra = 0.0;     ///< te = alpha*t_d + beta*t_r
+  int group_size = 1;
+};
+
+/// Aggregated results of one simulation run.
+struct MetricsReport {
+  int64_t served = 0;
+  int64_t rejected = 0;
+  double total_extra_time = 0.0;    ///< Sum of te over served orders.
+  double total_metrs_penalty = 0.0; ///< Sum of p(i) over rejected orders.
+  double metrs_objective = 0.0;     ///< Equation 2.
+  double worker_travel = 0.0;       ///< Total driver travel seconds.
+  double unified_cost = 0.0;        ///< worker_travel + UC rejection penalty.
+  double service_rate = 0.0;        ///< |O+| / |O|.
+  double avg_extra = 0.0;
+  double avg_response = 0.0;
+  double avg_detour = 0.0;
+  double avg_group_size = 0.0;
+  double algorithm_seconds = 0.0;   ///< Total decision-making wall time.
+  double running_time_per_order = 0.0;  ///< algorithm_seconds / |O|.
+  /// Fraction of fleet time spent driving: worker_travel / (fleet size *
+  /// simulated horizon); 0 when fleet info was not supplied.
+  double fleet_utilization = 0.0;
+
+  /// One-line summary for logs.
+  std::string ToString() const;
+};
+
+/// Streams served/rejected order outcomes and produces a MetricsReport.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(MetricsOptions options = {})
+      : options_(options) {}
+
+  /// Records a served order with its realized response and detour times.
+  void RecordServed(const Order& order, double response, double detour,
+                    int group_size);
+
+  /// Records a rejected order (adds its METRS and unified-cost penalties).
+  void RecordRejected(const Order& order);
+
+  /// Adds driver travel seconds (pickup legs + route legs).
+  void AddWorkerTravel(double seconds) { worker_travel_ += seconds; }
+
+  /// Adds algorithm (decision-making) wall time.
+  void AddAlgorithmTime(double seconds) { algorithm_seconds_ += seconds; }
+
+  /// Supplies fleet size and simulated horizon for utilization reporting.
+  void SetFleetInfo(int fleet_size, double horizon_seconds) {
+    fleet_size_ = fleet_size;
+    horizon_seconds_ = horizon_seconds;
+  }
+
+  /// Extra times of served orders so far — the "historical data H" that
+  /// Algorithm 3 fits the Gaussian Mixture Model to.
+  const std::vector<double>& served_extra_times() const {
+    return served_extras_;
+  }
+
+  const std::vector<ServedRecord>& served_records() const {
+    return served_records_;
+  }
+
+  const MetricsOptions& options() const { return options_; }
+  int64_t total_orders() const { return served_ + rejected_; }
+
+  /// Finalizes averages and rates into a report.
+  MetricsReport Report() const;
+
+ private:
+  MetricsOptions options_;
+  int64_t served_ = 0;
+  int64_t rejected_ = 0;
+  double total_extra_ = 0.0;
+  double total_response_ = 0.0;
+  double total_detour_ = 0.0;
+  double total_group_size_ = 0.0;
+  double total_metrs_penalty_ = 0.0;
+  double total_uc_penalty_ = 0.0;
+  double worker_travel_ = 0.0;
+  double algorithm_seconds_ = 0.0;
+  int fleet_size_ = 0;
+  double horizon_seconds_ = 0.0;
+  std::vector<double> served_extras_;
+  std::vector<ServedRecord> served_records_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_CORE_METRICS_H_

@@ -1,0 +1,71 @@
+#include "src/core/route.h"
+
+#include <unordered_map>
+
+namespace watter {
+
+double Route::CompletionOffset(OrderId order) const {
+  for (size_t s = 0; s < stops.size(); ++s) {
+    if (stops[s].order == order && !stops[s].is_pickup) return offsets[s];
+  }
+  return kInfCost;
+}
+
+bool Route::SatisfiesPrecedenceAndCapacity(
+    const std::vector<const Order*>& orders, int capacity) const {
+  std::unordered_map<OrderId, int> riders_of;
+  riders_of.reserve(orders.size());
+  for (const Order* order : orders) riders_of[order->id] = order->riders;
+
+  std::unordered_map<OrderId, int> state;  // 0 absent, 1 picked, 2 dropped.
+  int onboard = 0;
+  for (const Stop& stop : stops) {
+    auto riders_it = riders_of.find(stop.order);
+    if (riders_it == riders_of.end()) return false;  // Unknown order.
+    int& phase = state[stop.order];
+    if (stop.is_pickup) {
+      if (phase != 0) return false;  // Double pickup.
+      phase = 1;
+      onboard += riders_it->second;
+      if (onboard > capacity) return false;
+    } else {
+      if (phase != 1) return false;  // Drop before pickup or double drop.
+      phase = 2;
+      onboard -= riders_it->second;
+    }
+  }
+  for (const Order* order : orders) {
+    auto it = state.find(order->id);
+    if (it == state.end() || it->second != 2) return false;  // Unfinished.
+  }
+  return true;
+}
+
+std::string Route::ToString() const {
+  std::string out;
+  for (size_t s = 0; s < stops.size(); ++s) {
+    if (s > 0) out += " -> ";
+    out += stops[s].is_pickup ? "p" : "d";
+    out += std::to_string(stops[s].order);
+    out += "@";
+    out += std::to_string(stops[s].node);
+  }
+  return out;
+}
+
+double RecomputeOffsets(Route* route, TravelTimeOracle* oracle) {
+  route->offsets.assign(route->stops.size(), 0.0);
+  double cumulative = 0.0;
+  for (size_t s = 1; s < route->stops.size(); ++s) {
+    double leg = oracle->Cost(route->stops[s - 1].node, route->stops[s].node);
+    if (leg == kInfCost) {
+      route->offsets.assign(route->stops.size(), kInfCost);
+      return kInfCost;
+    }
+    cumulative += leg;
+    route->offsets[s] = cumulative;
+  }
+  return cumulative;
+}
+
+}  // namespace watter

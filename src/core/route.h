@@ -1,0 +1,57 @@
+// Route representation (Definition 3): an ordered sequence of pickup and
+// drop-off stops, with cached leg costs.
+#ifndef WATTER_CORE_ROUTE_H_
+#define WATTER_CORE_ROUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/geo/travel_time_oracle.h"
+
+namespace watter {
+
+/// One stop of a route: a pickup or drop-off of a specific order.
+struct Stop {
+  NodeId node = kInvalidNode;
+  OrderId order = kInvalidOrder;
+  bool is_pickup = false;
+
+  bool operator==(const Stop& other) const {
+    return node == other.node && order == other.order &&
+           is_pickup == other.is_pickup;
+  }
+};
+
+/// An ordered stop sequence with per-leg travel costs.
+///
+/// `offsets[s]` is the travel cost from the first stop to stop s (so
+/// offsets[0] == 0 and offsets.back() == T(L), the total route cost).
+struct Route {
+  std::vector<Stop> stops;
+  std::vector<double> offsets;
+
+  /// Total travel cost T(L); zero for an empty route.
+  double TotalCost() const { return offsets.empty() ? 0.0 : offsets.back(); }
+
+  /// Travel cost from the first stop up to the drop-off of `order`
+  /// (T(L^(i)) in Definition 5); kInfCost if the order is not dropped here.
+  double CompletionOffset(OrderId order) const;
+
+  /// Validates the sequential constraint (every pickup precedes its drop-off
+  /// and stops pair up) and that `capacity` is never exceeded assuming
+  /// `riders_of(order)` riders board at each pickup.
+  bool SatisfiesPrecedenceAndCapacity(
+      const std::vector<const Order*>& orders, int capacity) const;
+
+  /// Human-readable "p3 -> p5 -> d3 -> d5" string for debugging.
+  std::string ToString() const;
+};
+
+/// Recomputes leg offsets of `route` from `oracle` (e.g. after editing
+/// stops). Returns kInfCost total if any leg is unreachable.
+double RecomputeOffsets(Route* route, TravelTimeOracle* oracle);
+
+}  // namespace watter
+
+#endif  // WATTER_CORE_ROUTE_H_

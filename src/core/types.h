@@ -1,0 +1,69 @@
+// Core domain types of the METRS problem (paper Section II).
+#ifndef WATTER_CORE_TYPES_H_
+#define WATTER_CORE_TYPES_H_
+
+#include <cstdint>
+
+#include "src/geo/graph.h"
+
+namespace watter {
+
+/// Simulation timestamps and durations, in seconds.
+using Time = double;
+
+/// Identifier of a rider order.
+using OrderId = int64_t;
+
+/// Identifier of a worker (driver/vehicle).
+using WorkerId = int32_t;
+
+inline constexpr OrderId kInvalidOrder = -1;
+inline constexpr WorkerId kInvalidWorker = -1;
+
+/// Largest group size the pool will ever form; the paper evaluates vehicle
+/// capacities Kw in {2,3,4,5}.
+inline constexpr int kMaxGroupSize = 5;
+
+/// Trade-off weights of Definition 6: te = alpha * detour + beta * response.
+struct ExtraTimeWeights {
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// A rider request o(i) = <lp, ld, c, t, tau, eta> (Definition 1).
+struct Order {
+  OrderId id = kInvalidOrder;
+  NodeId pickup = kInvalidNode;   ///< l(i)_p
+  NodeId dropoff = kInvalidNode;  ///< l(i)_d
+  int riders = 1;                 ///< c(i)
+  Time release = 0.0;             ///< t(i)
+  Time deadline = 0.0;            ///< tau(i): absolute drop-off deadline.
+  Time wait_limit = 0.0;          ///< eta(i): preferred max waiting duration.
+  double shortest_cost = 0.0;     ///< cost(lp, ld), cached at creation.
+
+  /// Maximum feasible response time: waiting longer necessarily violates the
+  /// deadline. Also the METRS rejection penalty p(i) (Section II-B).
+  double MaxResponse() const { return deadline - release - shortest_cost; }
+
+  /// METRS rejection penalty p(i) = max response time.
+  double Penalty() const { return MaxResponse(); }
+
+  /// Latest timestamp at which a dispatch could still meet the deadline.
+  Time LatestDispatch() const { return release + MaxResponse(); }
+
+  /// Timestamp at which the preferred waiting window elapses.
+  Time WaitDeadline() const { return release + wait_limit; }
+};
+
+/// A worker w(j) = <l, k, a> (Definition 2).
+struct Worker {
+  WorkerId id = kInvalidWorker;
+  NodeId location = kInvalidNode;  ///< Current/idle location l(j).
+  int capacity = 4;                ///< Vehicle capacity k(j).
+  bool busy = false;               ///< Availability a(j).
+  Time available_at = 0.0;         ///< When the current delivery finishes.
+};
+
+}  // namespace watter
+
+#endif  // WATTER_CORE_TYPES_H_

@@ -1,0 +1,32 @@
+#include "src/geo/apsp.h"
+
+#include <string>
+
+#include "src/geo/dijkstra.h"
+
+namespace watter {
+
+Result<CostMatrix> CostMatrix::Build(const Graph& graph, int64_t max_cells) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph must be finalized before APSP");
+  }
+  const int n = graph.num_nodes();
+  const int64_t cells = static_cast<int64_t>(n) * n;
+  if (cells > max_cells) {
+    return Status::OutOfRange("APSP matrix of " + std::to_string(n) +
+                              " nodes exceeds the configured budget");
+  }
+  std::vector<float> matrix(static_cast<size_t>(cells), kUnreachable + 1.0f);
+  Dijkstra search(&graph);
+  for (NodeId source = 0; source < n; ++source) {
+    search.Run(source);
+    float* row = &matrix[static_cast<size_t>(source) * n];
+    for (NodeId v = 0; v < n; ++v) {
+      double d = search.DistanceTo(v);
+      row[v] = d == kInfCost ? kUnreachable + 1.0f : static_cast<float>(d);
+    }
+  }
+  return CostMatrix(n, std::move(matrix));
+}
+
+}  // namespace watter

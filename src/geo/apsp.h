@@ -1,0 +1,44 @@
+// All-pairs shortest path matrix for small/medium cities.
+//
+// For the default synthetic cities (a few thousand nodes) an n x n float
+// matrix fits comfortably in memory and turns every travel-time query into a
+// single load, which is what makes large simulation sweeps cheap.
+#ifndef WATTER_GEO_APSP_H_
+#define WATTER_GEO_APSP_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/geo/graph.h"
+
+namespace watter {
+
+/// Dense all-pairs travel-cost matrix (float to halve the footprint).
+class CostMatrix {
+ public:
+  /// Runs one Dijkstra per node. Refuses graphs whose matrix would exceed
+  /// `max_cells` (default ~512M cells ≈ 2 GB) to avoid accidental blowups.
+  static Result<CostMatrix> Build(const Graph& graph,
+                                  int64_t max_cells = int64_t{512} << 20);
+
+  /// Travel cost from `from` to `to`; kInfCost if unreachable.
+  double Cost(NodeId from, NodeId to) const {
+    float value = cells_[static_cast<size_t>(from) * n_ + to];
+    return value < kUnreachable ? static_cast<double>(value) : kInfCost;
+  }
+
+  int num_nodes() const { return n_; }
+
+ private:
+  static constexpr float kUnreachable = 3.0e38f;
+
+  CostMatrix(int n, std::vector<float> cells)
+      : n_(n), cells_(std::move(cells)) {}
+
+  int n_ = 0;
+  std::vector<float> cells_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_GEO_APSP_H_

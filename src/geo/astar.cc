@@ -1,0 +1,66 @@
+#include "src/geo/astar.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace watter {
+
+AStar::AStar(const Graph* graph) : graph_(graph) {
+  const int n = graph_->num_nodes();
+  dist_.assign(static_cast<size_t>(n), kInfCost);
+  version_.assign(static_cast<size_t>(n), 0);
+  // Tightest admissible seconds-per-unit over all edges. Any path's cost is
+  // at least factor * euclidean(source, target) by the triangle inequality
+  // (each edge costs at least factor * its endpoint distance).
+  double factor = kInfCost;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Arc& arc : graph_->OutArcs(v)) {
+      double gap = EuclideanDistance(graph_->node_point(v),
+                                     graph_->node_point(arc.to));
+      if (gap <= 1e-12) {
+        factor = 0.0;  // Co-located neighbors: no usable bound.
+        continue;
+      }
+      factor = std::min(factor, arc.weight / gap);
+    }
+  }
+  heuristic_factor_ = factor == kInfCost ? 0.0 : factor;
+}
+
+double AStar::Query(NodeId source, NodeId target) {
+  if (source == target) return 0.0;
+  ++current_version_;
+  settled_count_ = 0;
+  const Point goal = graph_->node_point(target);
+  auto heuristic = [&](NodeId v) {
+    return heuristic_factor_ *
+           EuclideanDistance(graph_->node_point(v), goal);
+  };
+  using Entry = std::pair<double, NodeId>;  // (f = g + h, node).
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  dist_[source] = 0.0;
+  version_[source] = current_version_;
+  queue.push({heuristic(source), source});
+  std::vector<bool> settled(static_cast<size_t>(graph_->num_nodes()), false);
+  while (!queue.empty()) {
+    auto [f, v] = queue.top();
+    queue.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    ++settled_count_;
+    if (v == target) return dist_[v];
+    double g = dist_[v];
+    for (const Arc& arc : graph_->OutArcs(v)) {
+      double candidate = g + arc.weight;
+      if (!Fresh(arc.to) || candidate < dist_[arc.to]) {
+        dist_[arc.to] = candidate;
+        version_[arc.to] = current_version_;
+        queue.push({candidate + heuristic(arc.to), arc.to});
+      }
+    }
+  }
+  return kInfCost;
+}
+
+}  // namespace watter

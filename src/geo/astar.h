@@ -1,0 +1,49 @@
+// A* point-to-point search with an automatically derived admissible
+// heuristic.
+//
+// For city graphs whose nodes carry coordinates, a lower bound on remaining
+// travel time is euclidean_distance * min_seconds_per_unit, where the factor
+// is the tightest ratio of edge weight to endpoint distance observed in the
+// graph. The factor is computed once at construction; graphs with co-located
+// adjacent nodes degrade gracefully to factor 0 (plain Dijkstra ordering).
+#ifndef WATTER_GEO_ASTAR_H_
+#define WATTER_GEO_ASTAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geo/graph.h"
+
+namespace watter {
+
+/// Reusable A* searcher over a finalized graph.
+class AStar {
+ public:
+  /// Binds to `graph` (must outlive this object) and derives the heuristic
+  /// scale from its edges.
+  explicit AStar(const Graph* graph);
+
+  /// Shortest travel cost from `source` to `target`; kInfCost if
+  /// unreachable.
+  double Query(NodeId source, NodeId target);
+
+  /// The derived admissible seconds-per-coordinate-unit factor.
+  double heuristic_factor() const { return heuristic_factor_; }
+
+  /// Nodes settled by the last query (to compare against Dijkstra).
+  int settled_count() const { return settled_count_; }
+
+ private:
+  bool Fresh(NodeId v) const { return version_[v] == current_version_; }
+
+  const Graph* graph_;
+  double heuristic_factor_ = 0.0;
+  std::vector<double> dist_;
+  std::vector<uint32_t> version_;
+  uint32_t current_version_ = 0;
+  int settled_count_ = 0;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_GEO_ASTAR_H_

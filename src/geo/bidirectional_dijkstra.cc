@@ -1,0 +1,71 @@
+#include "src/geo/bidirectional_dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace watter {
+
+BidirectionalDijkstra::BidirectionalDijkstra(const Graph* graph)
+    : graph_(graph) {
+  const size_t n = static_cast<size_t>(graph_->num_nodes());
+  dist_f_.assign(n, kInfCost);
+  dist_b_.assign(n, kInfCost);
+  version_f_.assign(n, 0);
+  version_b_.assign(n, 0);
+}
+
+double BidirectionalDijkstra::Query(NodeId source, NodeId target) {
+  if (source == target) return 0.0;
+  ++current_version_;
+  using Entry = std::pair<double, NodeId>;
+  using Queue =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>;
+  Queue forward, backward;
+  dist_f_[source] = 0.0;
+  version_f_[source] = current_version_;
+  forward.push({0.0, source});
+  dist_b_[target] = 0.0;
+  version_b_[target] = current_version_;
+  backward.push({0.0, target});
+
+  double best = kInfCost;
+  // Alternate expansions; terminate when the sum of both frontiers' minima
+  // already exceeds the best meeting point found.
+  while (!forward.empty() || !backward.empty()) {
+    double front_f = forward.empty() ? kInfCost : forward.top().first;
+    double front_b = backward.empty() ? kInfCost : backward.top().first;
+    if (front_f + front_b >= best) break;
+    bool expand_forward = front_f <= front_b;
+    if (expand_forward) {
+      auto [d, v] = forward.top();
+      forward.pop();
+      if (d > dist_f_[v] || !FreshF(v)) continue;
+      if (FreshB(v) && d + dist_b_[v] < best) best = d + dist_b_[v];
+      for (const Arc& arc : graph_->OutArcs(v)) {
+        double candidate = d + arc.weight;
+        if (!FreshF(arc.to) || candidate < dist_f_[arc.to]) {
+          dist_f_[arc.to] = candidate;
+          version_f_[arc.to] = current_version_;
+          forward.push({candidate, arc.to});
+        }
+      }
+    } else {
+      auto [d, v] = backward.top();
+      backward.pop();
+      if (d > dist_b_[v] || !FreshB(v)) continue;
+      if (FreshF(v) && d + dist_f_[v] < best) best = d + dist_f_[v];
+      for (const Arc& arc : graph_->InArcs(v)) {
+        double candidate = d + arc.weight;
+        if (!FreshB(arc.to) || candidate < dist_b_[arc.to]) {
+          dist_b_[arc.to] = candidate;
+          version_b_[arc.to] = current_version_;
+          backward.push({candidate, arc.to});
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace watter

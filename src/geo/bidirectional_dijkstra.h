@@ -1,0 +1,40 @@
+// Bidirectional Dijkstra for point-to-point cost queries.
+//
+// Roughly halves the search space of plain Dijkstra on road networks; used
+// as the mid-tier travel-time oracle (between the APSP matrix for small
+// cities and contraction hierarchies for large ones).
+#ifndef WATTER_GEO_BIDIRECTIONAL_DIJKSTRA_H_
+#define WATTER_GEO_BIDIRECTIONAL_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geo/graph.h"
+
+namespace watter {
+
+/// Reusable bidirectional point-to-point shortest path search.
+class BidirectionalDijkstra {
+ public:
+  /// Binds to `graph`, which must outlive this object and be finalized.
+  explicit BidirectionalDijkstra(const Graph* graph);
+
+  /// Returns the shortest travel cost from `source` to `target`, or kInfCost
+  /// if unreachable.
+  double Query(NodeId source, NodeId target);
+
+ private:
+  bool FreshF(NodeId v) const { return version_f_[v] == current_version_; }
+  bool FreshB(NodeId v) const { return version_b_[v] == current_version_; }
+
+  const Graph* graph_;
+  std::vector<double> dist_f_;
+  std::vector<double> dist_b_;
+  std::vector<uint32_t> version_f_;
+  std::vector<uint32_t> version_b_;
+  uint32_t current_version_ = 0;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_GEO_BIDIRECTIONAL_DIJKSTRA_H_

@@ -1,0 +1,304 @@
+#include "src/geo/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace watter {
+namespace {
+
+/// Mutable adjacency used during preprocessing (shrinks as nodes contract,
+/// grows with shortcuts).
+struct DynamicArc {
+  NodeId to;
+  double weight;
+};
+
+/// Bounded local Dijkstra used for witness searches. Versioned arrays let us
+/// run hundreds of thousands of tiny searches without clearing.
+class WitnessSearch {
+ public:
+  WitnessSearch(int n, const std::vector<std::vector<DynamicArc>>* out,
+                const std::vector<bool>* contracted)
+      : out_(out),
+        contracted_(contracted),
+        dist_(n, kInfCost),
+        hops_(n, 0),
+        version_(n, 0) {}
+
+  /// Runs Dijkstra from `source`, ignoring `excluded` and contracted nodes,
+  /// stopping once the frontier exceeds `bound` or limits are hit.
+  void Run(NodeId source, NodeId excluded, double bound, int settle_limit,
+           int hop_limit) {
+    ++version_counter_;
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+    dist_[source] = 0.0;
+    hops_[source] = 0;
+    version_[source] = version_counter_;
+    queue.push({0.0, source});
+    int settled = 0;
+    while (!queue.empty()) {
+      auto [d, v] = queue.top();
+      queue.pop();
+      if (version_[v] != version_counter_ || d > dist_[v]) continue;
+      if (d > bound) break;
+      if (++settled > settle_limit) break;
+      if (hops_[v] >= hop_limit) continue;
+      for (const DynamicArc& arc : (*out_)[v]) {
+        if (arc.to == excluded || (*contracted_)[arc.to]) continue;
+        double candidate = d + arc.weight;
+        if (candidate > bound) continue;
+        if (version_[arc.to] != version_counter_ ||
+            candidate < dist_[arc.to]) {
+          dist_[arc.to] = candidate;
+          hops_[arc.to] = hops_[v] + 1;
+          version_[arc.to] = version_counter_;
+          queue.push({candidate, arc.to});
+        }
+      }
+    }
+  }
+
+  double DistanceTo(NodeId v) const {
+    return version_[v] == version_counter_ ? dist_[v] : kInfCost;
+  }
+
+ private:
+  const std::vector<std::vector<DynamicArc>>* out_;
+  const std::vector<bool>* contracted_;
+  std::vector<double> dist_;
+  std::vector<int> hops_;
+  std::vector<uint32_t> version_;
+  uint32_t version_counter_ = 0;
+};
+
+/// Inserts arc from->to with `weight`, keeping only the minimum over
+/// parallel arcs. Returns true if the adjacency changed.
+bool UpsertArc(std::vector<DynamicArc>* arcs, NodeId to, double weight) {
+  for (DynamicArc& arc : *arcs) {
+    if (arc.to == to) {
+      if (weight < arc.weight) {
+        arc.weight = weight;
+        return true;
+      }
+      return false;
+    }
+  }
+  arcs->push_back({to, weight});
+  return true;
+}
+
+struct Shortcut {
+  NodeId from;
+  NodeId to;
+  double weight;
+};
+
+}  // namespace
+
+Result<ContractionHierarchy> ContractionHierarchy::Build(
+    const Graph& graph, const ChOptions& options) {
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("graph must be finalized before CH");
+  }
+  const int n = graph.num_nodes();
+
+  // Dynamic adjacency seeded from the graph, parallel arcs deduplicated.
+  std::vector<std::vector<DynamicArc>> out(n), in(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Arc& arc : graph.OutArcs(v)) {
+      if (arc.to == v) continue;  // Self loops never help shortest paths.
+      UpsertArc(&out[v], arc.to, arc.weight);
+      UpsertArc(&in[arc.to], v, arc.weight);
+    }
+  }
+
+  std::vector<bool> contracted(n, false);
+  std::vector<int> contracted_neighbors(n, 0);
+  std::vector<int> rank(n, 0);
+  WitnessSearch witness(n, &out, &contracted);
+
+  // Computes the shortcuts required to contract v right now.
+  auto simulate = [&](NodeId v, std::vector<Shortcut>* shortcuts) {
+    if (shortcuts != nullptr) shortcuts->clear();
+    int needed = 0;
+    for (const DynamicArc& incoming : in[v]) {
+      NodeId u = incoming.to;
+      if (contracted[u] || u == v) continue;
+      double bound = 0.0;
+      for (const DynamicArc& outgoing : out[v]) {
+        if (contracted[outgoing.to] || outgoing.to == u ||
+            outgoing.to == v) {
+          continue;
+        }
+        bound = std::max(bound, incoming.weight + outgoing.weight);
+      }
+      if (bound == 0.0) continue;
+      witness.Run(u, v, bound, options.witness_settle_limit,
+                  options.witness_hop_limit);
+      for (const DynamicArc& outgoing : out[v]) {
+        NodeId w = outgoing.to;
+        if (contracted[w] || w == u || w == v) continue;
+        double through = incoming.weight + outgoing.weight;
+        if (witness.DistanceTo(w) <= through) continue;  // Witness found.
+        ++needed;
+        if (shortcuts != nullptr) shortcuts->push_back({u, w, through});
+      }
+    }
+    return needed;
+  };
+
+  auto priority_of = [&](NodeId v) {
+    int degree = 0;
+    for (const DynamicArc& arc : in[v]) degree += contracted[arc.to] ? 0 : 1;
+    for (const DynamicArc& arc : out[v]) degree += contracted[arc.to] ? 0 : 1;
+    int shortcuts = simulate(v, nullptr);
+    // Classic linear combination: edge difference + deleted neighbors.
+    return 4 * (shortcuts - degree) + 2 * contracted_neighbors[v];
+  };
+
+  using QueueEntry = std::pair<int, NodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      order_queue;
+  for (NodeId v = 0; v < n; ++v) order_queue.push({priority_of(v), v});
+
+  std::vector<Shortcut> all_shortcuts;
+  std::vector<Shortcut> pending;
+  int next_rank = 0;
+  while (!order_queue.empty()) {
+    auto [prio, v] = order_queue.top();
+    order_queue.pop();
+    if (contracted[v]) continue;
+    // Lazy update: re-evaluate and requeue if the node is no longer minimal.
+    int fresh_prio = priority_of(v);
+    if (!order_queue.empty() && fresh_prio > order_queue.top().first) {
+      order_queue.push({fresh_prio, v});
+      continue;
+    }
+    simulate(v, &pending);
+    for (const Shortcut& sc : pending) {
+      UpsertArc(&out[sc.from], sc.to, sc.weight);
+      UpsertArc(&in[sc.to], sc.from, sc.weight);
+      all_shortcuts.push_back(sc);
+    }
+    contracted[v] = true;
+    rank[v] = next_rank++;
+    for (const DynamicArc& arc : out[v]) {
+      if (!contracted[arc.to]) ++contracted_neighbors[arc.to];
+    }
+    for (const DynamicArc& arc : in[v]) {
+      if (!contracted[arc.to]) ++contracted_neighbors[arc.to];
+    }
+  }
+
+  // Assemble the upward/downward search graphs from original arcs plus
+  // shortcuts. Parallel arcs are reduced to their minimum weight via the
+  // staging maps below.
+  ContractionHierarchy ch;
+  ch.num_nodes_ = n;
+  ch.num_shortcuts_ = static_cast<int>(all_shortcuts.size());
+
+  std::vector<std::vector<DynamicArc>> up(n), down(n);
+  auto add_search_arc = [&](NodeId from, NodeId to, double weight) {
+    if (from == to) return;
+    if (rank[to] > rank[from]) {
+      UpsertArc(&up[from], to, weight);
+    } else {
+      // Stored reversed at the head for the backward search.
+      UpsertArc(&down[to], from, weight);
+    }
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Arc& arc : graph.OutArcs(v)) add_search_arc(v, arc.to, arc.weight);
+  }
+  for (const Shortcut& sc : all_shortcuts) {
+    add_search_arc(sc.from, sc.to, sc.weight);
+  }
+
+  auto flatten = [](const std::vector<std::vector<DynamicArc>>& lists,
+                    std::vector<int32_t>* offsets, std::vector<Arc>* arcs) {
+    offsets->assign(lists.size() + 1, 0);
+    size_t total = 0;
+    for (size_t v = 0; v < lists.size(); ++v) {
+      total += lists[v].size();
+      (*offsets)[v + 1] = static_cast<int32_t>(total);
+    }
+    arcs->reserve(total);
+    for (const auto& list : lists) {
+      for (const DynamicArc& arc : list) arcs->push_back({arc.to, arc.weight});
+    }
+  };
+  flatten(up, &ch.up_offsets_, &ch.up_arcs_);
+  flatten(down, &ch.down_offsets_, &ch.down_arcs_);
+
+  ch.dist_f_.assign(n, kInfCost);
+  ch.dist_b_.assign(n, kInfCost);
+  ch.version_f_.assign(n, 0);
+  ch.version_b_.assign(n, 0);
+  return ch;
+}
+
+double ContractionHierarchy::Query(NodeId source, NodeId target) const {
+  if (source < 0 || source >= num_nodes_ || target < 0 ||
+      target >= num_nodes_) {
+    return kInfCost;
+  }
+  if (source == target) return 0.0;
+  ++query_version_;
+  using Entry = std::pair<double, NodeId>;
+  using Queue =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>;
+  Queue forward, backward;
+  dist_f_[source] = 0.0;
+  version_f_[source] = query_version_;
+  forward.push({0.0, source});
+  dist_b_[target] = 0.0;
+  version_b_[target] = query_version_;
+  backward.push({0.0, target});
+
+  double best = kInfCost;
+  while (!forward.empty() || !backward.empty()) {
+    double front_f = forward.empty() ? kInfCost : forward.top().first;
+    double front_b = backward.empty() ? kInfCost : backward.top().first;
+    if (std::min(front_f, front_b) >= best) break;
+    if (front_f <= front_b) {
+      auto [d, v] = forward.top();
+      forward.pop();
+      if (version_f_[v] != query_version_ || d > dist_f_[v]) continue;
+      if (version_b_[v] == query_version_ && d + dist_b_[v] < best) {
+        best = d + dist_b_[v];
+      }
+      for (const Arc& arc : UpArcs(v)) {
+        double candidate = d + arc.weight;
+        if (version_f_[arc.to] != query_version_ ||
+            candidate < dist_f_[arc.to]) {
+          dist_f_[arc.to] = candidate;
+          version_f_[arc.to] = query_version_;
+          forward.push({candidate, arc.to});
+        }
+      }
+    } else {
+      auto [d, v] = backward.top();
+      backward.pop();
+      if (version_b_[v] != query_version_ || d > dist_b_[v]) continue;
+      if (version_f_[v] == query_version_ && d + dist_f_[v] < best) {
+        best = d + dist_f_[v];
+      }
+      for (const Arc& arc : DownArcs(v)) {
+        double candidate = d + arc.weight;
+        if (version_b_[arc.to] != query_version_ ||
+            candidate < dist_b_[arc.to]) {
+          dist_b_[arc.to] = candidate;
+          version_b_[arc.to] = query_version_;
+          backward.push({candidate, arc.to});
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace watter

@@ -1,0 +1,75 @@
+#include "src/geo/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace watter {
+
+Dijkstra::Dijkstra(const Graph* graph) : graph_(graph) {
+  const size_t n = static_cast<size_t>(graph_->num_nodes());
+  dist_.assign(n, kInfCost);
+  parent_.assign(n, kInvalidNode);
+  version_.assign(n, 0);
+}
+
+void Dijkstra::Run(NodeId source, NodeId target, bool reverse) {
+  ++current_version_;
+  settled_count_ = 0;
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  dist_[source] = 0.0;
+  parent_[source] = kInvalidNode;
+  version_[source] = current_version_;
+  queue.push({0.0, source});
+  // Versioned "settled" marking: a node is settled the first time it is
+  // popped with its current distance.
+  std::vector<bool> settled;  // lazily sized only when needed would cost more;
+  settled.assign(static_cast<size_t>(graph_->num_nodes()), false);
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (settled[v]) continue;
+    if (!Fresh(v) || d > dist_[v]) continue;
+    settled[v] = true;
+    ++settled_count_;
+    if (v == target) return;
+    auto arcs = reverse ? graph_->InArcs(v) : graph_->OutArcs(v);
+    for (const Arc& arc : arcs) {
+      double candidate = d + arc.weight;
+      if (!Fresh(arc.to) || candidate < dist_[arc.to]) {
+        dist_[arc.to] = candidate;
+        parent_[arc.to] = v;
+        version_[arc.to] = current_version_;
+        queue.push({candidate, arc.to});
+      }
+    }
+  }
+}
+
+double Dijkstra::DistanceTo(NodeId v) const {
+  if (v < 0 || v >= graph_->num_nodes()) return kInfCost;
+  return Fresh(v) ? dist_[v] : kInfCost;
+}
+
+std::vector<NodeId> Dijkstra::PathTo(NodeId v) const {
+  std::vector<NodeId> path;
+  if (DistanceTo(v) == kInfCost) return path;
+  for (NodeId cursor = v; cursor != kInvalidNode; cursor = parent_[cursor]) {
+    path.push_back(cursor);
+    if (!Fresh(cursor)) {
+      path.clear();
+      return path;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double ShortestPathCost(const Graph& graph, NodeId from, NodeId to) {
+  Dijkstra search(&graph);
+  search.Run(from, to);
+  return search.DistanceTo(to);
+}
+
+}  // namespace watter

@@ -1,0 +1,55 @@
+// Reusable single-source Dijkstra with versioned state arrays.
+//
+// A Dijkstra object is bound to a graph and can answer many queries without
+// reallocating; each Run() bumps a version counter instead of clearing the
+// O(n) distance arrays, which matters when thousands of short queries are
+// issued during a simulation.
+#ifndef WATTER_GEO_DIJKSTRA_H_
+#define WATTER_GEO_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geo/graph.h"
+
+namespace watter {
+
+/// Single-source shortest paths over a finalized Graph.
+class Dijkstra {
+ public:
+  /// Binds to `graph`, which must outlive this object and be finalized.
+  explicit Dijkstra(const Graph* graph);
+
+  /// Computes shortest paths from `source`. If `target` is a valid node the
+  /// search stops as soon as it is settled. If `reverse` is true the search
+  /// runs over incoming arcs (distances *to* `source`).
+  void Run(NodeId source, NodeId target = kInvalidNode, bool reverse = false);
+
+  /// Distance from the last Run()'s source to `v` (kInfCost if unreached or
+  /// not settled before early termination).
+  double DistanceTo(NodeId v) const;
+
+  /// Reconstructs the node sequence from the source to `v`; empty if
+  /// unreachable. Only meaningful for forward searches.
+  std::vector<NodeId> PathTo(NodeId v) const;
+
+  /// Number of nodes settled by the last Run() (for bench instrumentation).
+  int settled_count() const { return settled_count_; }
+
+ private:
+  bool Fresh(NodeId v) const { return version_[v] == current_version_; }
+
+  const Graph* graph_;
+  std::vector<double> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> version_;
+  uint32_t current_version_ = 0;
+  int settled_count_ = 0;
+};
+
+/// One-shot convenience: shortest travel cost from `from` to `to`.
+double ShortestPathCost(const Graph& graph, NodeId from, NodeId to);
+
+}  // namespace watter
+
+#endif  // WATTER_GEO_DIJKSTRA_H_

@@ -1,0 +1,115 @@
+#include "src/geo/graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace watter {
+
+NodeId Graph::AddNode(Point p) {
+  points_.push_back(p);
+  return static_cast<NodeId>(points_.size()) - 1;
+}
+
+void Graph::AddEdge(NodeId from, NodeId to, double weight) {
+  edge_from_.push_back(from);
+  edge_to_.push_back(to);
+  edge_weight_.push_back(weight);
+}
+
+void Graph::AddBidirectionalEdge(NodeId a, NodeId b, double weight) {
+  AddEdge(a, b, weight);
+  AddEdge(b, a, weight);
+}
+
+Status Graph::Finalize() {
+  if (finalized_) return Status::FailedPrecondition("graph already finalized");
+  const int n = num_nodes();
+  const int m = num_edges();
+  for (int e = 0; e < m; ++e) {
+    if (edge_from_[e] < 0 || edge_from_[e] >= n || edge_to_[e] < 0 ||
+        edge_to_[e] >= n) {
+      return Status::InvalidArgument("edge " + std::to_string(e) +
+                                     " references an unknown node");
+    }
+    if (!(edge_weight_[e] >= 0.0) || edge_weight_[e] == kInfCost) {
+      return Status::InvalidArgument("edge " + std::to_string(e) +
+                                     " has a non-finite or negative weight");
+    }
+  }
+
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (int e = 0; e < m; ++e) {
+    ++out_offsets_[edge_from_[e] + 1];
+    ++in_offsets_[edge_to_[e] + 1];
+  }
+  for (int v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_arcs_.resize(m);
+  in_arcs_.resize(m);
+  std::vector<int32_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<int32_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (int e = 0; e < m; ++e) {
+    out_arcs_[out_cursor[edge_from_[e]]++] = {edge_to_[e], edge_weight_[e]};
+    in_arcs_[in_cursor[edge_to_[e]]++] = {edge_from_[e], edge_weight_[e]};
+  }
+  // Release staging storage.
+  edge_from_.clear();
+  edge_from_.shrink_to_fit();
+  edge_to_.clear();
+  edge_to_.shrink_to_fit();
+  edge_weight_.clear();
+  edge_weight_.shrink_to_fit();
+  finalized_ = true;
+  return Status::Ok();
+}
+
+bool Graph::IsWeaklyConnected() const {
+  const int n = num_nodes();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : OutArcs(v)) {
+      if (!seen[arc.to]) {
+        seen[arc.to] = true;
+        ++visited;
+        stack.push_back(arc.to);
+      }
+    }
+    for (const Arc& arc : InArcs(v)) {
+      if (!seen[arc.to]) {
+        seen[arc.to] = true;
+        ++visited;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return visited == n;
+}
+
+Point Graph::MinCorner() const {
+  Point corner = points_.front();
+  for (const Point& p : points_) {
+    corner.x = std::min(corner.x, p.x);
+    corner.y = std::min(corner.y, p.y);
+  }
+  return corner;
+}
+
+Point Graph::MaxCorner() const {
+  Point corner = points_.front();
+  for (const Point& p : points_) {
+    corner.x = std::max(corner.x, p.x);
+    corner.y = std::max(corner.y, p.y);
+  }
+  return corner;
+}
+
+}  // namespace watter

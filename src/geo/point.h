@@ -1,0 +1,33 @@
+// 2-D point in city coordinates (grid-cell units for synthetic cities).
+#ifndef WATTER_GEO_POINT_H_
+#define WATTER_GEO_POINT_H_
+
+#include <cmath>
+
+namespace watter {
+
+/// Planar point; for generated cities the unit is one road-grid cell.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Manhattan (L1) distance; a lower bound proxy on grid-city travel.
+inline double ManhattanDistance(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace watter
+
+#endif  // WATTER_GEO_POINT_H_

@@ -1,0 +1,52 @@
+#include "src/geo/travel_time_oracle.h"
+
+#include "src/geo/dijkstra.h"
+
+namespace watter {
+
+double ChOracle::Cost(NodeId from, NodeId to) {
+  ++query_count_;
+  if (from == to) return 0.0;
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+                 static_cast<uint32_t>(to);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  double cost = ch_->Query(from, to);
+  if (cache_.size() >= cache_capacity_) cache_.clear();  // Cheap epoch flush.
+  cache_.emplace(key, cost);
+  return cost;
+}
+
+DijkstraOracle::DijkstraOracle(const Graph* graph, size_t max_cached_sources)
+    : graph_(graph), max_cached_sources_(max_cached_sources) {}
+
+const std::vector<double>& DijkstraOracle::RowFor(NodeId source) {
+  auto it = rows_.find(source);
+  if (it != rows_.end()) {
+    lru_.splice(lru_.begin(), lru_, lru_pos_[source]);
+    return it->second;
+  }
+  if (rows_.size() >= max_cached_sources_) {
+    NodeId victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    rows_.erase(victim);
+  }
+  Dijkstra search(graph_);
+  search.Run(source);
+  std::vector<double> row(static_cast<size_t>(graph_->num_nodes()), kInfCost);
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    row[v] = search.DistanceTo(v);
+  }
+  auto [inserted, _] = rows_.emplace(source, std::move(row));
+  lru_.push_front(source);
+  lru_pos_[source] = lru_.begin();
+  return inserted->second;
+}
+
+double DijkstraOracle::Cost(NodeId from, NodeId to) {
+  ++query_count_;
+  return RowFor(from)[to];
+}
+
+}  // namespace watter

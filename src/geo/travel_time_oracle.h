@@ -1,0 +1,93 @@
+// TravelTimeOracle: the single cost abstraction the whole framework uses.
+//
+// Every algorithm in the paper (pool management, route planning, GDP, GAS,
+// RL features) only ever needs cost(l_i, l_j), the shortest travel time
+// between two locations. Oracles answer that query from an APSP matrix, a
+// contraction hierarchy, or on-demand Dijkstra with caching — all behind one
+// interface so scenarios can pick the right trade-off for their city size.
+#ifndef WATTER_GEO_TRAVEL_TIME_ORACLE_H_
+#define WATTER_GEO_TRAVEL_TIME_ORACLE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geo/apsp.h"
+#include "src/geo/contraction_hierarchy.h"
+#include "src/geo/graph.h"
+
+namespace watter {
+
+/// Abstract shortest-travel-time provider.
+class TravelTimeOracle {
+ public:
+  virtual ~TravelTimeOracle() = default;
+
+  /// Shortest travel time (seconds) from `from` to `to`; kInfCost if
+  /// unreachable. Implementations may cache internally.
+  virtual double Cost(NodeId from, NodeId to) = 0;
+
+  /// Number of queries answered (diagnostics).
+  int64_t query_count() const { return query_count_; }
+
+ protected:
+  int64_t query_count_ = 0;
+};
+
+/// Oracle backed by a dense all-pairs matrix: O(1) per query.
+class MatrixOracle : public TravelTimeOracle {
+ public:
+  explicit MatrixOracle(std::shared_ptr<const CostMatrix> matrix)
+      : matrix_(std::move(matrix)) {}
+
+  double Cost(NodeId from, NodeId to) override {
+    ++query_count_;
+    return matrix_->Cost(from, to);
+  }
+
+ private:
+  std::shared_ptr<const CostMatrix> matrix_;
+};
+
+/// Oracle backed by a contraction hierarchy with a small memo cache.
+class ChOracle : public TravelTimeOracle {
+ public:
+  ChOracle(std::shared_ptr<const ContractionHierarchy> ch,
+           size_t cache_capacity = 1 << 20)
+      : ch_(std::move(ch)), cache_capacity_(cache_capacity) {}
+
+  double Cost(NodeId from, NodeId to) override;
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  std::shared_ptr<const ContractionHierarchy> ch_;
+  size_t cache_capacity_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+/// Oracle running full Dijkstra per distinct source, LRU-bounded.
+///
+/// Amortizes well when many queries share sources (e.g. one order's pickup
+/// probed against many candidate partners).
+class DijkstraOracle : public TravelTimeOracle {
+ public:
+  explicit DijkstraOracle(const Graph* graph, size_t max_cached_sources = 256);
+
+  double Cost(NodeId from, NodeId to) override;
+
+ private:
+  const std::vector<double>& RowFor(NodeId source);
+
+  const Graph* graph_;
+  size_t max_cached_sources_;
+  std::unordered_map<NodeId, std::vector<double>> rows_;
+  std::list<NodeId> lru_;  // Front = most recent.
+  std::unordered_map<NodeId, std::list<NodeId>::iterator> lru_pos_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_GEO_TRAVEL_TIME_ORACLE_H_

@@ -1,0 +1,83 @@
+#include "src/pool/best_group_map.h"
+
+#include <algorithm>
+
+namespace watter {
+
+void BestGroupMap::OnOrderRemoved(OrderId member) {
+  best_.erase(member);
+  dirty_.erase(member);
+  for (auto& [id, group] : best_) {
+    if (std::binary_search(group.members.begin(), group.members.end(),
+                           member)) {
+      dirty_.insert(id);
+    }
+  }
+}
+
+bool BestGroupMap::NeedsRefresh(OrderId id, Time now) const {
+  if (dirty_.count(id) > 0) return true;
+  auto it = best_.find(id);
+  if (it == best_.end()) return true;
+  if (it->second.plan.latest_departure < now) return true;  // Group expired.
+  return false;
+}
+
+const BestGroup* BestGroupMap::BestFor(OrderId id, Time now) {
+  if (!graph_->Contains(id)) return nullptr;
+  if (NeedsRefresh(id, now)) Recompute(id, now);
+  auto it = best_.find(id);
+  if (it == best_.end()) return nullptr;
+  if (it->second.plan.latest_departure < now) return nullptr;
+  return &it->second;
+}
+
+void BestGroupMap::Recompute(OrderId id, Time now) {
+  ++recompute_count_;
+  dirty_.erase(id);
+  best_.erase(id);
+  const Order* anchor = graph_->GetOrder(id);
+  if (anchor == nullptr) return;
+
+  BestGroup best;
+  bool have_best = false;
+  double best_avg = kInfCost;
+
+  auto consider = [&](const std::vector<OrderId>& members) {
+    ++groups_evaluated_;
+    std::vector<const Order*> orders;
+    orders.reserve(members.size());
+    int riders = 0;
+    for (OrderId member : members) {
+      const Order* order = graph_->GetOrder(member);
+      if (order == nullptr) return;
+      riders += order->riders;
+      orders.push_back(order);
+    }
+    if (riders > capacity_) return;
+    auto plan = planner_->PlanBest(orders, now, capacity_);
+    if (!plan.ok()) return;
+    BestGroup group;
+    group.members = members;
+    group.sum_detour = 0.0;
+    group.sum_release = 0.0;
+    for (size_t i = 0; i < orders.size(); ++i) {
+      group.sum_detour += plan->completion[i] - orders[i]->shortest_cost;
+      group.sum_release += orders[i]->release;
+    }
+    group.plan = std::move(plan).value();
+    double avg = group.AverageExtraTime(now, weights_);
+    if (!have_best || avg < best_avg) {
+      best = std::move(group);
+      best_avg = avg;
+      have_best = true;
+    }
+  };
+
+  if (include_singletons_) consider({id});
+  EnumerateCliquesContaining(*graph_, id, clique_options_, consider);
+
+  if (have_best) best_.emplace(id, std::move(best));
+}
+
+}  // namespace watter

@@ -1,0 +1,104 @@
+// Best-group map Gb (Algorithm 1).
+//
+// For every pooled order we cache the *best group*: the clique-derived,
+// planner-verified group with the smallest average extra time among all
+// shareable groups containing the order (Section IV-A). Lookups are O(1);
+// recomputation is dirty-driven, triggered by exactly the paper's four update
+// situations: order arrival, order departure, edge expiry and group expiry.
+//
+// A key property keeps this cheap: between graph updates, every candidate
+// group's average extra time grows at the same rate (beta per second of
+// waiting, uniformly), so the *ranking* of groups is time-invariant and a
+// cached best group stays best until the graph changes or the group expires.
+#ifndef WATTER_POOL_BEST_GROUP_MAP_H_
+#define WATTER_POOL_BEST_GROUP_MAP_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/route_planner.h"
+#include "src/core/types.h"
+#include "src/pool/clique_enumerator.h"
+#include "src/pool/shareability_graph.h"
+
+namespace watter {
+
+/// A verified candidate group for dispatch.
+struct BestGroup {
+  std::vector<OrderId> members;  ///< Sorted; includes the owner order.
+  GroupPlan plan;                ///< Min-cost feasible route and expiry.
+  double sum_detour = 0.0;       ///< Sum over members of completion - shortest.
+  double sum_release = 0.0;      ///< Sum of member release times.
+
+  int size() const { return static_cast<int>(members.size()); }
+
+  /// Average extra time of the group if dispatched at `now`
+  /// (Definition 6 averaged over members; Algorithm 2 line 4).
+  double AverageExtraTime(Time now, const ExtraTimeWeights& weights) const {
+    double avg_detour = sum_detour / size();
+    double avg_response = now - sum_release / size();
+    return weights.alpha * avg_detour + weights.beta * avg_response;
+  }
+
+  /// Earliest release among members (whose wait limit fires first is
+  /// computed by the strategy from member orders).
+  Time latest_departure() const { return plan.latest_departure; }
+};
+
+/// Maintains the best group of every pooled order.
+///
+/// By default only *shared* groups (size >= 2) are considered, matching the
+/// paper's semantics: a lone order has no "group arrangement" to rate
+/// against its threshold and waits for partners until its watching window
+/// elapses (solo service is the platform's timeout fallback, not a pool
+/// group). Set `include_singletons` for the permissive variant.
+class BestGroupMap {
+ public:
+  BestGroupMap(const ShareabilityGraph* graph, RoutePlanner* planner,
+               ExtraTimeWeights weights, int capacity, CliqueOptions cliques,
+               bool include_singletons = false)
+      : graph_(graph),
+        planner_(planner),
+        weights_(weights),
+        capacity_(capacity),
+        clique_options_(cliques),
+        include_singletons_(include_singletons) {}
+
+  /// Marks an order's cached best group stale.
+  void MarkDirty(OrderId id) { dirty_.insert(id); }
+
+  /// Marks every order whose cached best group contains `member` stale and
+  /// forgets `member`'s own entry. Call on departure.
+  void OnOrderRemoved(OrderId member);
+
+  /// Returns the current best group of `id` at time `now`, recomputing if
+  /// stale or expired; nullptr if the order has no feasible group anymore
+  /// (not even serving it alone) or is unknown.
+  const BestGroup* BestFor(OrderId id, Time now);
+
+  /// Forces recomputation of `id` at `now` (used by tests/benches).
+  void Recompute(OrderId id, Time now);
+
+  int64_t recompute_count() const { return recompute_count_; }
+  int64_t groups_evaluated() const { return groups_evaluated_; }
+
+ private:
+  /// True if `group` is missing, expired, or references departed orders.
+  bool NeedsRefresh(OrderId id, Time now) const;
+
+  const ShareabilityGraph* graph_;
+  RoutePlanner* planner_;
+  ExtraTimeWeights weights_;
+  int capacity_;
+  CliqueOptions clique_options_;
+  bool include_singletons_;
+  std::unordered_map<OrderId, BestGroup> best_;
+  std::unordered_set<OrderId> dirty_;
+  int64_t recompute_count_ = 0;
+  int64_t groups_evaluated_ = 0;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_POOL_BEST_GROUP_MAP_H_

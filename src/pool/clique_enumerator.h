@@ -1,0 +1,40 @@
+// k-clique enumeration over the shareability graph.
+//
+// Theorem IV.1: a group of k orders can only have a feasible route if the
+// corresponding nodes form a k-clique. The pool therefore enumerates cliques
+// containing a given anchor order to collect candidate groups, which are then
+// verified exactly with the route planner. Enumeration is bounded both by
+// the maximum group size and by a visit budget so pathological dense pools
+// cannot stall a decision round.
+#ifndef WATTER_POOL_CLIQUE_ENUMERATOR_H_
+#define WATTER_POOL_CLIQUE_ENUMERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/pool/shareability_graph.h"
+
+namespace watter {
+
+/// Bounds for clique enumeration.
+struct CliqueOptions {
+  int max_size = kMaxGroupSize;  ///< Largest clique (group) size emitted.
+  int max_visits = 4096;         ///< Hard cap on emitted cliques per anchor.
+};
+
+/// Calls `visit` for every clique of size in [2, max_size] that contains
+/// `anchor`, as a sorted member vector (anchor included). Returns the number
+/// of cliques visited; stops early once options.max_visits is reached.
+///
+/// The same clique is emitted exactly once. Sub-cliques of larger cliques are
+/// emitted too (every sub-clique is itself a candidate group — a cheaper
+/// route may exist for fewer members).
+int EnumerateCliquesContaining(
+    const ShareabilityGraph& graph, OrderId anchor,
+    const CliqueOptions& options,
+    const std::function<void(const std::vector<OrderId>&)>& visit);
+
+}  // namespace watter
+
+#endif  // WATTER_POOL_CLIQUE_ENUMERATOR_H_

@@ -1,0 +1,26 @@
+#include "src/pool/order_pool.h"
+
+namespace watter {
+
+Status OrderPool::Insert(const Order& order, Time now) {
+  auto gained = graph_.Insert(order, now);
+  if (!gained.ok()) return gained.status();
+  best_.MarkDirty(order.id);
+  for (OrderId neighbor : *gained) best_.MarkDirty(neighbor);
+  return Status::Ok();
+}
+
+Status OrderPool::Remove(OrderId id) {
+  auto neighbors = graph_.Remove(id);
+  if (!neighbors.ok()) return neighbors.status();
+  best_.OnOrderRemoved(id);
+  return Status::Ok();
+}
+
+void OrderPool::ExpireEdges(Time now) {
+  for (OrderId affected : graph_.ExpireEdges(now)) {
+    best_.MarkDirty(affected);
+  }
+}
+
+}  // namespace watter

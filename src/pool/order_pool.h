@@ -1,0 +1,81 @@
+// OrderPool: the graph-based order pooling manager of Algorithm 1.
+//
+// Composes the temporal shareability graph with the best-group map and keeps
+// both consistent across the four update situations: (1) order arrival,
+// (2) order departure, (3) edge expiration, (4) group expiration.
+#ifndef WATTER_POOL_ORDER_POOL_H_
+#define WATTER_POOL_ORDER_POOL_H_
+
+#include <vector>
+
+#include "src/core/route_planner.h"
+#include "src/core/types.h"
+#include "src/geo/travel_time_oracle.h"
+#include "src/pool/best_group_map.h"
+#include "src/pool/clique_enumerator.h"
+#include "src/pool/shareability_graph.h"
+
+namespace watter {
+
+/// Pool-wide configuration.
+struct PoolOptions {
+  /// Max riders per group route (the fleet's largest vehicle, Kw).
+  int capacity = 4;
+  /// Shared routes must truly interleave riders (see shareability_graph.h).
+  bool require_overlap = true;
+  /// Clique enumeration bounds.
+  CliqueOptions cliques;
+  /// Extra-time weights used to rank candidate groups.
+  ExtraTimeWeights weights;
+  /// Let lone orders form 1-"groups" in the best-group map (non-paper
+  /// variant; see BestGroupMap).
+  bool include_singletons = false;
+};
+
+/// Dynamic pool of waiting orders with O(1) best-group retrieval.
+class OrderPool {
+ public:
+  /// `oracle` must outlive the pool.
+  OrderPool(TravelTimeOracle* oracle, PoolOptions options)
+      : options_(options),
+        planner_(oracle),
+        graph_(&planner_,
+               ShareabilityOptions{options.capacity, options.require_overlap}),
+        best_(&graph_, &planner_, options.weights, options.capacity,
+              options.cliques, options.include_singletons) {}
+
+  /// Inserts an arriving order (Algorithm 1 line 3) and updates edges and
+  /// dirty best-groups.
+  Status Insert(const Order& order, Time now);
+
+  /// Removes a dispatched/rejected/expired order (lines 12, 15).
+  Status Remove(OrderId id);
+
+  /// Drops expired edges (lines 5-6) and marks affected orders stale.
+  void ExpireEdges(Time now);
+
+  /// Best group of `id` at `now`; nullptr when no feasible group remains.
+  const BestGroup* BestFor(OrderId id, Time now) {
+    return best_.BestFor(id, now);
+  }
+
+  const Order* GetOrder(OrderId id) const { return graph_.GetOrder(id); }
+  bool Contains(OrderId id) const { return graph_.Contains(id); }
+  std::vector<OrderId> OrderIds() const { return graph_.OrderIds(); }
+  size_t size() const { return graph_.size(); }
+
+  const ShareabilityGraph& graph() const { return graph_; }
+  BestGroupMap& best_groups() { return best_; }
+  RoutePlanner& planner() { return planner_; }
+  const PoolOptions& options() const { return options_; }
+
+ private:
+  PoolOptions options_;
+  RoutePlanner planner_;
+  ShareabilityGraph graph_;
+  BestGroupMap best_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_POOL_ORDER_POOL_H_

@@ -1,0 +1,138 @@
+#include "src/pool/shareability_graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace watter {
+namespace {
+
+/// True if the route has riders of two different orders on board for a
+/// strictly positive duration (i.e. pooling actually happens; a pickup at
+/// the exact node where a partner alights does not count).
+bool RouteInterleaves(const Route& route) {
+  int onboard_orders = 0;
+  for (size_t s = 0; s + 1 < route.stops.size(); ++s) {
+    onboard_orders += route.stops[s].is_pickup ? 1 : -1;
+    if (onboard_orders >= 2 &&
+        route.offsets[s + 1] > route.offsets[s]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<OrderId>> ShareabilityGraph::Insert(const Order& order,
+                                                       Time now) {
+  if (entries_.count(order.id) > 0) {
+    return Status::AlreadyExists("order " + std::to_string(order.id) +
+                                 " already pooled");
+  }
+  Entry entry;
+  entry.order = order;
+  entry.inserted_at = now;
+
+  std::vector<OrderId> gained;
+  for (auto& [other_id, other] : entries_) {
+    const Order& candidate = other.order;
+    // Sound quick rejects: an order past its latest dispatch can never be
+    // part of a feasible route, and the planner would discover that the
+    // expensive way.
+    if (now > order.LatestDispatch() || now > candidate.LatestDispatch()) {
+      continue;
+    }
+    ++pair_tests_;
+    auto plan = planner_->PlanBest({&entry.order, &candidate}, now,
+                                   options_.capacity);
+    if (!plan.ok()) continue;
+    if (options_.require_overlap && !RouteInterleaves(plan->route)) continue;
+    ShareEdge to_other{other_id, plan->latest_departure, plan->total_cost};
+    ShareEdge to_new{order.id, plan->latest_departure, plan->total_cost};
+    entry.edges.push_back(to_other);
+    other.edges.push_back(to_new);
+    ++edge_count_;
+    gained.push_back(other_id);
+  }
+  entries_.emplace(order.id, std::move(entry));
+  return gained;
+}
+
+Result<std::vector<OrderId>> ShareabilityGraph::Remove(OrderId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("order " + std::to_string(id) + " not pooled");
+  }
+  std::vector<OrderId> neighbors;
+  neighbors.reserve(it->second.edges.size());
+  for (const ShareEdge& edge : it->second.edges) {
+    neighbors.push_back(edge.other);
+    RemoveEdgeTo(edge.other, id);
+    --edge_count_;
+  }
+  entries_.erase(it);
+  return neighbors;
+}
+
+void ShareabilityGraph::RemoveEdgeTo(OrderId from, OrderId to) {
+  auto it = entries_.find(from);
+  if (it == entries_.end()) return;
+  auto& edges = it->second.edges;
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [to](const ShareEdge& e) {
+                               return e.other == to;
+                             }),
+              edges.end());
+}
+
+std::vector<OrderId> ShareabilityGraph::ExpireEdges(Time now) {
+  std::vector<OrderId> affected;
+  for (auto& [id, entry] : entries_) {
+    auto& edges = entry.edges;
+    size_t before = edges.size();
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [now](const ShareEdge& e) {
+                                 return e.expiry < now;
+                               }),
+                edges.end());
+    if (edges.size() != before) affected.push_back(id);
+  }
+  // Each expired edge was trimmed from both endpoints; recount.
+  int64_t directed = 0;
+  for (const auto& [id, entry] : entries_) {
+    directed += static_cast<int64_t>(entry.edges.size());
+  }
+  edge_count_ = directed / 2;
+  return affected;
+}
+
+const Order* ShareabilityGraph::GetOrder(OrderId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.order;
+}
+
+Time ShareabilityGraph::InsertedAt(OrderId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? -1.0 : it->second.inserted_at;
+}
+
+const std::vector<ShareEdge>& ShareabilityGraph::Neighbors(OrderId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? empty_ : it->second.edges;
+}
+
+bool ShareabilityGraph::HasEdge(OrderId a, OrderId b) const {
+  for (const ShareEdge& edge : Neighbors(a)) {
+    if (edge.other == b) return true;
+  }
+  return false;
+}
+
+std::vector<OrderId> ShareabilityGraph::OrderIds() const {
+  std::vector<OrderId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace watter

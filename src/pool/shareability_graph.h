@@ -1,0 +1,100 @@
+// Temporal shareability graph (Definition 8).
+//
+// Nodes are waiting orders; an edge (o_i, o_j, tau_e) certifies that the two
+// orders admit a feasible *beneficially shared* route if dispatched before
+// timestamp tau_e. Edges are computed exactly with the route planner when an
+// order is inserted: deadlines only tighten as time passes, so a pair that is
+// infeasible now can never become feasible later, and a feasible pair stays
+// feasible exactly until its latest departure — which becomes the edge
+// expiry.
+//
+// "Beneficially shared" means the minimum-cost pair route interleaves the
+// riders (someone is on board while the other is picked up). Purely
+// sequential chaining satisfies the route constraints but provides no pooling
+// benefit and would make the graph near-complete; the paper's shareability
+// notion ("orders that can be shared in a group") is interpreted as true
+// sharing. See DESIGN.md, key decisions.
+#ifndef WATTER_POOL_SHAREABILITY_GRAPH_H_
+#define WATTER_POOL_SHAREABILITY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/route_planner.h"
+#include "src/core/types.h"
+
+namespace watter {
+
+/// One shareability edge from the perspective of a node.
+struct ShareEdge {
+  OrderId other = kInvalidOrder;
+  Time expiry = 0.0;       ///< tau_e: latest departure keeping the pair feasible.
+  double pair_cost = 0.0;  ///< Minimal travel cost of the shared route.
+};
+
+/// Configuration of edge creation.
+struct ShareabilityOptions {
+  /// Vehicle capacity assumed when testing pair routes (the fleet's max).
+  int capacity = 4;
+  /// Require the min-cost pair route to interleave riders (see file header).
+  bool require_overlap = true;
+};
+
+/// The dynamic order pool graph.
+class ShareabilityGraph {
+ public:
+  ShareabilityGraph(RoutePlanner* planner, ShareabilityOptions options)
+      : planner_(planner), options_(options) {}
+
+  /// Inserts `order` at time `now`, computing edges against every resident
+  /// order. Returns the ids of existing orders that gained an edge (their
+  /// best group may improve). AlreadyExists if the id is resident.
+  Result<std::vector<OrderId>> Insert(const Order& order, Time now);
+
+  /// Removes an order and all its edges. Returns the ids of former
+  /// neighbors. NotFound if absent.
+  Result<std::vector<OrderId>> Remove(OrderId id);
+
+  /// Drops all edges with expiry < now. Returns the ids of orders that lost
+  /// at least one edge.
+  std::vector<OrderId> ExpireEdges(Time now);
+
+  bool Contains(OrderId id) const { return entries_.count(id) > 0; }
+  const Order* GetOrder(OrderId id) const;
+  Time InsertedAt(OrderId id) const;
+
+  /// Adjacency of `id` (empty if unknown).
+  const std::vector<ShareEdge>& Neighbors(OrderId id) const;
+
+  /// True if an un-expired edge links a and b.
+  bool HasEdge(OrderId a, OrderId b) const;
+
+  /// Ids of all resident orders (unspecified order).
+  std::vector<OrderId> OrderIds() const;
+
+  size_t size() const { return entries_.size(); }
+  int64_t edge_count() const { return edge_count_; }
+  int64_t pair_tests() const { return pair_tests_; }
+
+ private:
+  struct Entry {
+    Order order;
+    Time inserted_at = 0.0;
+    std::vector<ShareEdge> edges;
+  };
+
+  void RemoveEdgeTo(OrderId from, OrderId to);
+
+  RoutePlanner* planner_;
+  ShareabilityOptions options_;
+  std::unordered_map<OrderId, Entry> entries_;
+  int64_t edge_count_ = 0;   // Undirected edges currently present.
+  int64_t pair_tests_ = 0;   // Pair plans attempted (diagnostics).
+  std::vector<ShareEdge> empty_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_POOL_SHAREABILITY_GRAPH_H_

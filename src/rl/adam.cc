@@ -1,0 +1,28 @@
+#include "src/rl/adam.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace watter {
+
+void AdamOptimizer::Step(std::vector<float>* params,
+                         const std::vector<float>& grads) {
+  assert(params->size() == first_moment_.size());
+  assert(grads.size() == first_moment_.size());
+  ++step_;
+  double correction1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  double correction2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (size_t i = 0; i < params->size(); ++i) {
+    double g = grads[i];
+    first_moment_[i] =
+        static_cast<float>(beta1_ * first_moment_[i] + (1.0 - beta1_) * g);
+    second_moment_[i] = static_cast<float>(
+        beta2_ * second_moment_[i] + (1.0 - beta2_) * g * g);
+    double m_hat = first_moment_[i] / correction1;
+    double v_hat = second_moment_[i] / correction2;
+    (*params)[i] -= static_cast<float>(
+        learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_));
+  }
+}
+
+}  // namespace watter

@@ -1,0 +1,43 @@
+// Adam optimizer over a flat parameter vector.
+#ifndef WATTER_RL_ADAM_H_
+#define WATTER_RL_ADAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace watter {
+
+/// Standard Adam (Kingma & Ba, 2015) with bias correction.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(size_t dimension, double learning_rate = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8)
+      : learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon),
+        first_moment_(dimension, 0.0f),
+        second_moment_(dimension, 0.0f) {}
+
+  /// Applies one update; `params` and `grads` must have the constructed
+  /// dimension. Gradients are not modified.
+  void Step(std::vector<float>* params, const std::vector<float>& grads);
+
+  int64_t step_count() const { return step_; }
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  int64_t step_ = 0;
+  std::vector<float> first_moment_;
+  std::vector<float> second_moment_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_RL_ADAM_H_

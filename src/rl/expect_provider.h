@@ -1,0 +1,62 @@
+// WATTER-expect: threshold provider backed by the learned value function.
+//
+// theta(i) = p(i) - V(s_t^(i)) (Section VI-A), clamped into [0, p(i)]. The
+// environment snapshot is rebuilt once per check round (all decisions in a
+// round share the same timestamp) and cached.
+#ifndef WATTER_RL_EXPECT_PROVIDER_H_
+#define WATTER_RL_EXPECT_PROVIDER_H_
+
+#include <algorithm>
+#include <memory>
+
+#include "src/rl/featurizer.h"
+#include "src/rl/mlp.h"
+#include "src/strategy/threshold_provider.h"
+
+namespace watter {
+
+/// Threshold provider of the WATTER-expect strategy.
+class ExpectThresholdProvider : public ThresholdProvider {
+ public:
+  /// `featurizer` and `value` are borrowed and must outlive the provider.
+  ExpectThresholdProvider(const Featurizer* featurizer, const Mlp* value)
+      : featurizer_(featurizer), value_(value) {}
+
+  double ThresholdFor(const Order& order, Time now,
+                      const PoolContext& context) override {
+    double penalty = order.Penalty();
+    if (penalty <= 0.0) return 0.0;
+    CompactState state =
+        featurizer_->MakeState(order, now, SnapshotFor(now, context));
+    featurizer_->Write(state, &features_);
+    double value = value_->Forward(features_);
+    return std::clamp(penalty - value, 0.0, penalty);
+  }
+
+  const char* name() const override { return "WATTER-expect"; }
+
+ private:
+  std::shared_ptr<const EnvSnapshot> SnapshotFor(Time now,
+                                                 const PoolContext& context) {
+    if (cached_snapshot_ != nullptr && cached_at_ == now) {
+      return cached_snapshot_;
+    }
+    static const std::vector<int> kEmpty;
+    cached_snapshot_ = featurizer_->MakeSnapshot(
+        context.demand_pickup != nullptr ? *context.demand_pickup : kEmpty,
+        context.demand_dropoff != nullptr ? *context.demand_dropoff : kEmpty,
+        context.supply != nullptr ? *context.supply : kEmpty);
+    cached_at_ = now;
+    return cached_snapshot_;
+  }
+
+  const Featurizer* featurizer_;
+  const Mlp* value_;
+  std::shared_ptr<const EnvSnapshot> cached_snapshot_;
+  Time cached_at_ = -1.0;
+  std::vector<float> features_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_RL_EXPECT_PROVIDER_H_

@@ -1,0 +1,112 @@
+#include "src/rl/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace watter {
+
+Mlp::Mlp(std::vector<int> layer_sizes, uint64_t seed)
+    : sizes_(std::move(layer_sizes)) {
+  assert(sizes_.size() >= 2 && sizes_.back() == 1);
+  size_t total = 0;
+  for (size_t layer = 0; layer + 1 < sizes_.size(); ++layer) {
+    total += static_cast<size_t>(sizes_[layer]) * sizes_[layer + 1] +
+             sizes_[layer + 1];
+  }
+  params_.resize(total);
+  Rng rng(seed);
+  size_t cursor = 0;
+  for (size_t layer = 0; layer + 1 < sizes_.size(); ++layer) {
+    int fan_in = sizes_[layer];
+    int fan_out = sizes_[layer + 1];
+    double scale = std::sqrt(2.0 / fan_in);  // He initialization.
+    for (int i = 0; i < fan_in * fan_out; ++i) {
+      params_[cursor++] = static_cast<float>(rng.Normal(0.0, scale));
+    }
+    for (int i = 0; i < fan_out; ++i) params_[cursor++] = 0.0f;
+  }
+  activations_.resize(sizes_.size());
+  for (size_t layer = 0; layer < sizes_.size(); ++layer) {
+    activations_[layer].resize(static_cast<size_t>(sizes_[layer]));
+  }
+}
+
+double Mlp::ForwardInternal(std::span<const float> input) const {
+  assert(static_cast<int>(input.size()) == sizes_.front());
+  std::copy(input.begin(), input.end(), activations_[0].begin());
+  size_t cursor = 0;
+  for (size_t layer = 0; layer + 1 < sizes_.size(); ++layer) {
+    int fan_in = sizes_[layer];
+    int fan_out = sizes_[layer + 1];
+    const float* weights = &params_[cursor];
+    const float* bias = &params_[cursor + static_cast<size_t>(fan_in) *
+                                              fan_out];
+    const std::vector<float>& in = activations_[layer];
+    std::vector<float>& out = activations_[layer + 1];
+    bool is_output = layer + 2 == sizes_.size();
+    for (int o = 0; o < fan_out; ++o) {
+      double sum = bias[o];
+      const float* row = &weights[static_cast<size_t>(o) * fan_in];
+      for (int i = 0; i < fan_in; ++i) sum += row[i] * in[i];
+      out[o] = is_output ? static_cast<float>(sum)
+                         : static_cast<float>(sum > 0.0 ? sum : 0.0);
+    }
+    cursor += static_cast<size_t>(fan_in) * fan_out + fan_out;
+  }
+  return activations_.back()[0];
+}
+
+double Mlp::Forward(std::span<const float> input) const {
+  return ForwardInternal(input);
+}
+
+double Mlp::ForwardBackward(std::span<const float> input, double dloss_dout,
+                            std::vector<float>* grads) const {
+  assert(grads->size() == params_.size());
+  double output = ForwardInternal(input);
+
+  // Backward pass: delta for the top layer is dLoss/dOutput.
+  std::vector<float> delta = {static_cast<float>(dloss_dout)};
+  // Parameter offsets per layer (recomputed going backwards).
+  std::vector<size_t> offsets(sizes_.size() - 1);
+  size_t cursor = 0;
+  for (size_t layer = 0; layer + 1 < sizes_.size(); ++layer) {
+    offsets[layer] = cursor;
+    cursor += static_cast<size_t>(sizes_[layer]) * sizes_[layer + 1] +
+              sizes_[layer + 1];
+  }
+  for (int layer = static_cast<int>(sizes_.size()) - 2; layer >= 0; --layer) {
+    int fan_in = sizes_[layer];
+    int fan_out = sizes_[layer + 1];
+    const float* weights = &params_[offsets[layer]];
+    float* weight_grads = &(*grads)[offsets[layer]];
+    float* bias_grads =
+        &(*grads)[offsets[layer] + static_cast<size_t>(fan_in) * fan_out];
+    const std::vector<float>& in = activations_[layer];
+    std::vector<float> next_delta(fan_in, 0.0f);
+    for (int o = 0; o < fan_out; ++o) {
+      float d = delta[o];
+      if (d == 0.0f) continue;
+      const float* row = &weights[static_cast<size_t>(o) * fan_in];
+      float* grad_row = &weight_grads[static_cast<size_t>(o) * fan_in];
+      for (int i = 0; i < fan_in; ++i) {
+        grad_row[i] += d * in[i];
+        next_delta[i] += d * row[i];
+      }
+      bias_grads[o] += d;
+    }
+    if (layer > 0) {
+      // ReLU derivative at the previous layer's post-activation.
+      const std::vector<float>& activation = activations_[layer];
+      for (int i = 0; i < fan_in; ++i) {
+        if (activation[i] <= 0.0f) next_delta[i] = 0.0f;
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return output;
+}
+
+}  // namespace watter

@@ -1,0 +1,31 @@
+// Persistence for trained WATTER-expect models.
+//
+// A deployed dispatch platform trains offline (Section VI) and serves
+// online; the artifact crossing that boundary is the value network plus the
+// fitted mixture and the featurizer geometry. The format is a small
+// versioned text file: human-inspectable, portable, and independent of
+// float endianness.
+#ifndef WATTER_RL_MODEL_IO_H_
+#define WATTER_RL_MODEL_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/rl/trainer.h"
+
+namespace watter {
+
+/// Serializes `model` (network architecture + parameters, GMM components,
+/// featurizer grid/time-slot) to `path`.
+Status SaveExpectModel(const std::string& path, const ExpectModel& model);
+
+/// Restores a model saved by SaveExpectModel. The caller supplies the city
+/// the model will run against (node geometry must match what it was trained
+/// on; for generated cities this means the same city_seed and dimensions).
+Result<ExpectModel> LoadExpectModel(const std::string& path,
+                                    std::shared_ptr<City> city);
+
+}  // namespace watter
+
+#endif  // WATTER_RL_MODEL_IO_H_

@@ -1,0 +1,69 @@
+// Replay memory of MDP transitions (Section VI-B).
+//
+// Each waiting order is an agent; its decision phases yield wait transitions
+// (reward -dt, discounted future) and a terminal dispatch (reward p - t_d)
+// or expiry (future value 0). Experiences store compact states; the full
+// feature vectors are materialized at training time.
+#ifndef WATTER_RL_REPLAY_MEMORY_H_
+#define WATTER_RL_REPLAY_MEMORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rl/featurizer.h"
+
+namespace watter {
+
+/// One MDP transition.
+struct Experience {
+  CompactState state;
+  int action = 0;            ///< 1 = dispatch, 0 = wait.
+  double reward = 0.0;       ///< p - t_d for dispatch; -(elapsed) for wait.
+  double elapsed = 0.0;      ///< Seconds between decisions (discounting).
+  bool terminal = false;     ///< No successor (dispatch or expiry).
+  CompactState next_state;   ///< Valid when !terminal.
+  double penalty = 0.0;      ///< p(i) of the order.
+  double theta_star = 0.0;   ///< GMM-optimal threshold for the target loss.
+};
+
+/// Bounded ring buffer with uniform sampling.
+class ReplayMemory {
+ public:
+  explicit ReplayMemory(size_t capacity) : capacity_(capacity) {}
+
+  void Add(Experience experience) {
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(experience));
+    } else {
+      buffer_[write_cursor_ % capacity_] = std::move(experience);
+    }
+    ++write_cursor_;
+  }
+
+  size_t size() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Uniformly samples `count` experiences (with replacement).
+  std::vector<const Experience*> Sample(size_t count, Rng* rng) const {
+    std::vector<const Experience*> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count && !buffer_.empty(); ++i) {
+      batch.push_back(&buffer_[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(buffer_.size()) - 1))]);
+    }
+    return batch;
+  }
+
+  const Experience& at(size_t index) const { return buffer_[index]; }
+
+ private:
+  size_t capacity_;
+  size_t write_cursor_ = 0;
+  std::vector<Experience> buffer_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_RL_REPLAY_MEMORY_H_

@@ -1,0 +1,96 @@
+// Offline training pipeline for WATTER-expect (Section VI).
+//
+// Mirrors the paper's three-stage procedure:
+//   1. Bootstrap: simulate the platform on historical "days" to harvest
+//      extra-time samples H.
+//   2. Fit a GMM to H (Algorithm 3) and derive the optimal thresholds
+//      theta*(p), which both drive the behavior policy and anchor the
+//      target loss.
+//   3. Simulate more days under the GMM threshold policy, recording every
+//      per-order decision as an MDP transition, and train the value network
+//      on the replayed experience with the combined TD + target loss.
+#ifndef WATTER_RL_TRAINER_H_
+#define WATTER_RL_TRAINER_H_
+
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/rl/expect_provider.h"
+#include "src/rl/featurizer.h"
+#include "src/rl/value_learner.h"
+#include "src/sim/platform.h"
+#include "src/stats/gmm.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+
+/// Pipeline configuration.
+struct ExpectTrainOptions {
+  int bootstrap_days = 1;   ///< Runs harvesting extra times for the GMM.
+  int behavior_days = 2;    ///< Runs generating MDP experience.
+  int gmm_components = 3;
+  int epochs = 3;           ///< Training passes over the replay memory.
+  LearnerOptions learner;
+  SimOptions sim;           ///< Shared platform configuration.
+  uint64_t seed_base = 90001;  ///< Seeds for training days (eval must differ).
+};
+
+/// A trained WATTER-expect model: everything the provider needs, with
+/// owned lifetimes (the city pins the graph the featurizer points into).
+struct ExpectModel {
+  std::shared_ptr<City> city;
+  std::unique_ptr<Featurizer> featurizer;
+  std::unique_ptr<Mlp> value;
+  std::unique_ptr<GaussianMixture> mixture;
+  size_t experiences = 0;   ///< Transitions collected during training.
+  double extra_time_mean = 0.0;  ///< Mean of the bootstrap extra times.
+
+  /// Builds a provider bound to this model (model must outlive it).
+  std::unique_ptr<ExpectThresholdProvider> MakeProvider() const {
+    return std::make_unique<ExpectThresholdProvider>(featurizer.get(),
+                                                     value.get());
+  }
+};
+
+/// Trains a model for workloads shaped like `base` (same city via
+/// base.city_seed, different demand seeds). The evaluation scenario should
+/// use a seed outside [options.seed_base, seed_base + days).
+Result<ExpectModel> TrainExpectModel(WorkloadOptions base,
+                                     const ExpectTrainOptions& options = {});
+
+/// Collects per-decision observations into MDP transitions. Exposed for
+/// unit tests; TrainExpectModel wires it to the platform observer.
+class ExperienceCollector {
+ public:
+  ExperienceCollector(const Featurizer* featurizer, ThresholdTable* thetas,
+                      ReplayMemory* replay)
+      : featurizer_(featurizer), thetas_(thetas), replay_(replay) {}
+
+  void OnObservation(const DecisionObservation& observation);
+
+  /// Drops tracking for orders still pending (end of a day).
+  void Reset() { pending_.clear(); }
+
+  int64_t transitions() const { return transitions_; }
+
+ private:
+  struct Pending {
+    CompactState state;
+    Time time = 0.0;
+  };
+
+  std::shared_ptr<const EnvSnapshot> SnapshotFor(
+      const DecisionObservation& observation);
+
+  const Featurizer* featurizer_;
+  ThresholdTable* thetas_;
+  ReplayMemory* replay_;
+  std::unordered_map<OrderId, Pending> pending_;
+  std::shared_ptr<const EnvSnapshot> cached_snapshot_;
+  Time cached_at_ = -1.0;
+  int64_t transitions_ = 0;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_RL_TRAINER_H_

@@ -1,0 +1,64 @@
+#include "src/sim/fleet.h"
+
+namespace watter {
+
+Fleet::Fleet(std::vector<Worker> workers, const Graph* graph, int grid_cells)
+    : workers_(std::move(workers)),
+      graph_(graph),
+      idle_index_(graph->MinCorner(), graph->MaxCorner(), grid_cells) {
+  for (const Worker& worker : workers_) {
+    idle_index_.Insert(worker.id, graph_->node_point(worker.location));
+  }
+}
+
+void Fleet::ReleaseUntil(Time now) {
+  while (!busy_.empty() && busy_.top().first <= now) {
+    WorkerId id = busy_.top().second;
+    busy_.pop();
+    Worker& worker = workers_[id - 1];
+    worker.busy = false;
+    idle_index_.Insert(id, graph_->node_point(worker.location));
+  }
+}
+
+WorkerId Fleet::FindClosestIdle(NodeId target, int min_capacity,
+                                TravelTimeOracle* oracle, int candidates) {
+  auto nearby = idle_index_.KNearest(
+      candidates, graph_->node_point(target),
+      [this, min_capacity](int64_t id) {
+        return workers_[id - 1].capacity >= min_capacity;
+      });
+  WorkerId best = kInvalidWorker;
+  double best_cost = kInfCost;
+  for (int64_t id : nearby) {
+    const Worker& worker = workers_[id - 1];
+    double cost = oracle->Cost(worker.location, target);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = worker.id;
+    }
+  }
+  return best;
+}
+
+std::vector<WorkerId> Fleet::IdleWorkerIds() const {
+  std::vector<WorkerId> ids;
+  ids.reserve(idle_index_.size());
+  for (int64_t id : idle_index_.AllIds()) {
+    ids.push_back(static_cast<WorkerId>(id));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void Fleet::Dispatch(WorkerId id, Time until, NodeId final_node) {
+  Worker& worker = workers_[id - 1];
+  worker.busy = true;
+  worker.available_at = until;
+  worker.location = final_node;
+  // The worker leaves the idle index while driving.
+  (void)idle_index_.Remove(id);
+  busy_.push({until, id});
+}
+
+}  // namespace watter

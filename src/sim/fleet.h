@@ -1,0 +1,67 @@
+// Fleet: worker availability tracking and closest-idle-worker lookup.
+//
+// WATTER workers serve one order group at a time (paper Section II); a
+// dispatched worker is busy until the route completes, then reappears idle
+// at the route's last stop. Idle workers are indexed in the spatial grid so
+// "assign the group to the closest available worker" is a cheap k-NN probe
+// refined by exact travel costs.
+#ifndef WATTER_SIM_FLEET_H_
+#define WATTER_SIM_FLEET_H_
+
+#include <queue>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/geo/graph.h"
+#include "src/geo/grid_index.h"
+#include "src/geo/travel_time_oracle.h"
+
+namespace watter {
+
+/// Manages worker state over simulated time.
+class Fleet {
+ public:
+  /// `graph` supplies node locations for the spatial index; must outlive
+  /// the fleet. All workers start idle at their initial locations.
+  Fleet(std::vector<Worker> workers, const Graph* graph, int grid_cells);
+
+  /// Moves every worker whose delivery finished by `now` back to idle.
+  void ReleaseUntil(Time now);
+
+  /// Returns the idle worker closest (by travel time to `target`) among the
+  /// `candidates` nearest by Euclidean distance, with capacity >=
+  /// `min_capacity`; kInvalidWorker if none qualifies.
+  WorkerId FindClosestIdle(NodeId target, int min_capacity,
+                           TravelTimeOracle* oracle, int candidates = 8);
+
+  /// Marks `id` busy until `until`, finishing at `final_node`. The worker
+  /// must currently be idle.
+  void Dispatch(WorkerId id, Time until, NodeId final_node);
+
+  const Worker& worker(WorkerId id) const { return workers_[id - 1]; }
+  int idle_count() const { return static_cast<int>(idle_index_.size()); }
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Idle workers per grid cell (the RL supply feature sW).
+  std::vector<int> IdleCellCounts() const { return idle_index_.CellCounts(); }
+
+  /// Ids of all currently idle workers, ascending.
+  std::vector<WorkerId> IdleWorkerIds() const;
+
+  /// The spatial grid geometry (shared with demand features).
+  const GridIndex& idle_index() const { return idle_index_; }
+
+ private:
+  std::vector<Worker> workers_;  // Indexed by id - 1.
+  const Graph* graph_;
+  GridIndex idle_index_;
+  // Min-heap of (available_at, worker id) for busy workers.
+  using BusyEntry = std::pair<Time, WorkerId>;
+  std::priority_queue<BusyEntry, std::vector<BusyEntry>,
+                      std::greater<BusyEntry>>
+      busy_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_SIM_FLEET_H_

@@ -1,0 +1,227 @@
+#include "src/sim/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stopwatch.h"
+
+namespace watter {
+namespace {
+
+PoolOptions MergePoolOptions(PoolOptions base, const Scenario& scenario) {
+  base.capacity = scenario.options.max_capacity;
+  return base;
+}
+
+}  // namespace
+
+WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
+                               SimOptions options)
+    : scenario_(scenario),
+      provider_(provider),
+      options_(options),
+      pool_(scenario->oracle.get(),
+            MergePoolOptions(options.pool, *scenario)),
+      fleet_(scenario->workers, &scenario->city->graph, options.grid_cells),
+      metrics_(options.metrics),
+      rng_(options.sim_seed),
+      demand_pickup_index_(scenario->city->graph.MinCorner(),
+                           scenario->city->graph.MaxCorner(),
+                           options.grid_cells),
+      demand_dropoff_index_(scenario->city->graph.MinCorner(),
+                            scenario->city->graph.MaxCorner(),
+                            options.grid_cells) {}
+
+void WatterPlatform::Observe(const Order& order, Time now, int action,
+                             bool expired, double detour) {
+  if (!observer_) return;
+  DecisionObservation obs;
+  obs.order = order.id;
+  obs.order_ref = &order;
+  obs.now = now;
+  obs.action = action;
+  obs.expired = expired;
+  obs.detour = detour;
+  obs.demand_pickup = &demand_pickup_counts_;
+  obs.demand_dropoff = &demand_dropoff_counts_;
+  obs.supply = &supply_counts_;
+  observer_(obs);
+}
+
+void WatterPlatform::InsertArrival(const Order& order, Time now) {
+  if (!pool_.Insert(order, now).ok()) return;
+  const Graph& graph = scenario_->city->graph;
+  demand_pickup_index_.Insert(order.id, graph.node_point(order.pickup));
+  demand_dropoff_index_.Insert(order.id, graph.node_point(order.dropoff));
+}
+
+void WatterPlatform::RemoveFromIndexes(const Order& order) {
+  (void)demand_pickup_index_.Remove(order.id);
+  (void)demand_dropoff_index_.Remove(order.id);
+}
+
+void WatterPlatform::RejectOrder(const Order& order, Time now) {
+  Observe(order, now, /*action=*/0, /*expired=*/true, 0.0);
+  metrics_.RecordRejected(order);
+  RemoveFromIndexes(order);
+  (void)pool_.Remove(order.id);
+}
+
+bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
+                                 const GroupPlan& plan, Time now) {
+  int riders = 0;
+  for (const Order* member : members) riders += member->riders;
+  NodeId first_stop = plan.route.stops.front().node;
+  WorkerId worker_id =
+      fleet_.FindClosestIdle(first_stop, riders, scenario_->oracle.get(),
+                             options_.worker_candidates);
+  if (worker_id == kInvalidWorker) return false;
+
+  const Worker& worker = fleet_.worker(worker_id);
+  double pickup_delay =
+      scenario_->oracle->Cost(worker.location, first_stop);
+  if (pickup_delay == kInfCost) return false;
+
+  // Record outcomes per member (response = notification wait, Definition 4;
+  // detour per Definition 5).
+  for (size_t i = 0; i < members.size(); ++i) {
+    const Order& member = *members[i];
+    double response = now - member.release;
+    // Clamp: float rounding in matrix oracles can yield -1e-5 "detours".
+    double detour =
+        std::max(0.0, plan.completion[i] - member.shortest_cost);
+    metrics_.RecordServed(member, response, detour,
+                          static_cast<int>(members.size()));
+    Observe(member, now, /*action=*/1, /*expired=*/false, detour);
+  }
+  metrics_.AddWorkerTravel(pickup_delay + plan.total_cost);
+  NodeId final_node = plan.route.stops.back().node;
+  fleet_.Dispatch(worker_id, now + pickup_delay + plan.total_cost,
+                  final_node);
+  for (const Order* member : members) {
+    RemoveFromIndexes(*member);
+    (void)pool_.Remove(member->id);
+  }
+  return true;
+}
+
+void WatterPlatform::RunCheck(Time now) {
+  pool_.ExpireEdges(now);
+  demand_pickup_counts_ = demand_pickup_index_.CellCounts();
+  demand_dropoff_counts_ = demand_dropoff_index_.CellCounts();
+  supply_counts_ = fleet_.IdleCellCounts();
+  PoolContext context{&demand_pickup_counts_, &demand_dropoff_counts_,
+                      &supply_counts_};
+
+  std::vector<OrderId> ids = pool_.OrderIds();
+  std::sort(ids.begin(), ids.end());  // Deterministic, arrival-ordered.
+  for (OrderId id : ids) {
+    if (!pool_.Contains(id)) continue;  // Dispatched earlier this round.
+    const Order* order = pool_.GetOrder(id);
+    const Order order_copy = *order;  // Stable across pool mutation.
+    bool dispatched = false;
+
+    const BestGroup* group = pool_.BestFor(id, now);
+    if (group != nullptr) {
+      std::vector<const Order*> members;
+      members.reserve(group->members.size());
+      bool resolved = true;
+      for (OrderId member : group->members) {
+        const Order* m = pool_.GetOrder(member);
+        if (m == nullptr) {
+          resolved = false;
+          break;
+        }
+        members.push_back(m);
+      }
+      if (resolved) {
+        bool go = DecideGroupDispatch(*group, members, now,
+                                      pool_.options().weights, provider_,
+                                      context);
+        // Feasibility-forced dispatch: holding past the next check would
+        // let the group expire.
+        if (!go && group->plan.latest_departure < now + options_.check_period) {
+          go = true;
+        }
+        if (go) dispatched = TryDispatch(members, group->plan, now);
+      }
+    }
+
+    if (!dispatched && pool_.Contains(id)) {
+      // Impatience: past the watching window the rider may cancel at any
+      // check (hazard model; counted as an expiration like the paper).
+      if (options_.cancellation_hazard > 0.0 &&
+          now > order_copy.WaitDeadline() &&
+          rng_.Bernoulli(1.0 - std::exp(-options_.cancellation_hazard *
+                                        options_.check_period))) {
+        RejectOrder(order_copy, now);
+        continue;
+      }
+      if (now > order_copy.LatestDispatch()) {
+        // No feasible service remains.
+        RejectOrder(order_copy, now);
+      } else if (options_.solo_fallback && group == nullptr &&
+                 (now > order_copy.WaitDeadline() ||
+                  now + options_.check_period > order_copy.LatestDispatch())) {
+        // Watching window elapsed — or feasibility about to expire —
+        // without a shared group: serve alone.
+        const Order* fresh = pool_.GetOrder(id);
+        auto solo = pool_.planner().PlanBest({fresh}, now,
+                                             pool_.options().capacity);
+        if (solo.ok()) {
+          dispatched = TryDispatch({fresh}, *solo, now);
+        }
+        if (!dispatched) {
+          Observe(order_copy, now, /*action=*/0, /*expired=*/false, 0.0);
+        }
+      } else {
+        Observe(order_copy, now, /*action=*/0, /*expired=*/false, 0.0);
+      }
+    }
+  }
+}
+
+MetricsReport WatterPlatform::Run() {
+  Stopwatch algorithm_time;
+  {
+    ScopedTimer timer(&algorithm_time);
+    const std::vector<Order>& orders = scenario_->orders;
+    size_t next_order = 0;
+    Time next_check =
+        orders.empty() ? 0.0 : orders.front().release + options_.check_period;
+    Time last_event = orders.empty() ? 0.0 : orders.front().release;
+    while (next_order < orders.size() || pool_.size() > 0) {
+      Time arrival = next_order < orders.size() ? orders[next_order].release
+                                                : kInfCost;
+      if (pool_.size() == 0 && arrival > next_check) {
+        // Nothing to check; fast-forward to the next arrival.
+        next_check = arrival + options_.check_period;
+      }
+      if (arrival <= next_check) {
+        fleet_.ReleaseUntil(arrival);
+        InsertArrival(orders[next_order], arrival);
+        ++next_order;
+        last_event = arrival;
+      } else {
+        fleet_.ReleaseUntil(next_check);
+        RunCheck(next_check);
+        last_event = next_check;
+        next_check += options_.check_period;
+      }
+    }
+    if (!orders.empty()) {
+      metrics_.SetFleetInfo(fleet_.size(),
+                            last_event - orders.front().release);
+    }
+  }
+  metrics_.AddAlgorithmTime(algorithm_time.ElapsedSeconds());
+  return metrics_.Report();
+}
+
+MetricsReport RunWatter(Scenario* scenario, ThresholdProvider* provider,
+                        const SimOptions& options) {
+  WatterPlatform platform(scenario, provider, options);
+  return platform.Run();
+}
+
+}  // namespace watter

@@ -1,0 +1,125 @@
+// WatterPlatform: the end-to-end simulation of Algorithm 1.
+//
+// Consumes a Scenario's time-ordered order stream, maintains the order pool
+// (temporal shareability graph + best-group map), runs asynchronous periodic
+// checks, applies the threshold-based grouping strategy (Algorithm 2) with a
+// pluggable ThresholdProvider, assigns dispatched groups to the closest
+// available worker, and accumulates the paper's four metrics.
+//
+// Dispatch/hold semantics implemented here (see DESIGN.md):
+//  - A group is dispatched when Algorithm 2 says so, or when holding it past
+//    the next check would let it expire (feasibility-forced dispatch; this
+//    is what "as late as possible" means for WATTER-timeout).
+//  - A lone order (no shared group) waits until its watching window eta
+//    elapses, then is served solo while feasible ("dispatched immediately
+//    when there is a suitable group, otherwise rejected").
+//  - An order is rejected once no feasible service remains (its latest
+//    dispatch time has passed without a worker).
+#ifndef WATTER_SIM_PLATFORM_H_
+#define WATTER_SIM_PLATFORM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/metrics.h"
+#include "src/geo/grid_index.h"
+#include "src/pool/order_pool.h"
+#include "src/sim/fleet.h"
+#include "src/strategy/decision.h"
+#include "src/strategy/threshold_provider.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+
+/// Simulation configuration.
+struct SimOptions {
+  /// Asynchronous periodic check interval (seconds).
+  double check_period = 5.0;
+  /// Pool configuration (capacity is overridden by the scenario's Kw).
+  PoolOptions pool;
+  /// Metric weights and penalties.
+  MetricsOptions metrics;
+  /// Spatial feature grid (paper Section VII-A: 10x10 cells).
+  int grid_cells = 10;
+  /// Candidates probed for the closest-worker query.
+  int worker_candidates = 8;
+  /// Serve timed-out lone orders alone when feasible.
+  bool solo_fallback = true;
+  /// Rider impatience: once an order's watching window has elapsed, it
+  /// cancels with this per-second hazard rate (0 disables). The paper folds
+  /// cancellations into expirations ("the order may be canceled at any
+  /// time, which is also considered as an expiration").
+  double cancellation_hazard = 0.0;
+  /// Seed for platform-side randomness (currently only cancellations).
+  uint64_t sim_seed = 0xC0FFEE;
+};
+
+/// One observed per-order decision; the RL trainer consumes these to build
+/// MDP transitions offline (Section VI-A).
+struct DecisionObservation {
+  OrderId order = kInvalidOrder;
+  const Order* order_ref = nullptr;
+  Time now = 0.0;
+  int action = 0;        ///< 1 = dispatch, 0 = wait.
+  bool expired = false;  ///< Order left the platform unserved.
+  double detour = 0.0;   ///< Realized detour (valid when dispatched).
+  /// Cell-count snapshots (valid during the callback only).
+  const std::vector<int>* demand_pickup = nullptr;
+  const std::vector<int>* demand_dropoff = nullptr;
+  const std::vector<int>* supply = nullptr;
+};
+
+/// Drives one full simulation run.
+class WatterPlatform {
+ public:
+  /// `scenario` and `provider` must outlive the platform.
+  WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
+                 SimOptions options);
+
+  /// Runs the simulation to completion and returns the metric report.
+  MetricsReport Run();
+
+  /// Installs an observer called on every decision (RL data collection).
+  void set_observer(std::function<void(const DecisionObservation&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  const MetricsCollector& metrics() const { return metrics_; }
+  const OrderPool& pool() const { return pool_; }
+
+ private:
+  void InsertArrival(const Order& order, Time now);
+  void RunCheck(Time now);
+  /// Attempts to dispatch `members` on `plan`; true on success.
+  bool TryDispatch(const std::vector<const Order*>& members,
+                   const GroupPlan& plan, Time now);
+  void RejectOrder(const Order& order, Time now);
+  void RemoveFromIndexes(const Order& order);
+  void Observe(const Order& order, Time now, int action, bool expired,
+               double detour);
+
+  Scenario* scenario_;
+  ThresholdProvider* provider_;
+  SimOptions options_;
+  OrderPool pool_;
+  Fleet fleet_;
+  MetricsCollector metrics_;
+  Rng rng_;
+  GridIndex demand_pickup_index_;
+  GridIndex demand_dropoff_index_;
+  std::function<void(const DecisionObservation&)> observer_;
+  // Snapshots rebuilt at each check round.
+  std::vector<int> demand_pickup_counts_;
+  std::vector<int> demand_dropoff_counts_;
+  std::vector<int> supply_counts_;
+};
+
+/// Convenience: builds the platform and runs it.
+MetricsReport RunWatter(Scenario* scenario, ThresholdProvider* provider,
+                        const SimOptions& options = {});
+
+}  // namespace watter
+
+#endif  // WATTER_SIM_PLATFORM_H_

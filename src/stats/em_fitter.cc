@@ -1,0 +1,149 @@
+#include "src/stats/em_fitter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+
+namespace watter {
+namespace {
+
+/// k-means++ style seeding for 1-D: spread initial means by sampling
+/// proportional to squared distance from the closest chosen mean.
+std::vector<double> SeedMeans(const std::vector<double>& data, int k,
+                              Rng* rng) {
+  std::vector<double> means;
+  means.push_back(data[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(data.size()) - 1))]);
+  std::vector<double> dist_sq(data.size());
+  while (static_cast<int>(means.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double m : means) best = std::min(best, (data[i] - m) * (data[i] - m));
+      dist_sq[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing means; duplicate one.
+      means.push_back(means.back());
+      continue;
+    }
+    double target = rng->Uniform() * total;
+    double cumulative = 0.0;
+    size_t chosen = data.size() - 1;
+    for (size_t i = 0; i < data.size(); ++i) {
+      cumulative += dist_sq[i];
+      if (target < cumulative) {
+        chosen = i;
+        break;
+      }
+    }
+    means.push_back(data[chosen]);
+  }
+  return means;
+}
+
+}  // namespace
+
+Result<GaussianMixture> FitGmm(const std::vector<double>& data,
+                               const EmOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit a mixture to empty data");
+  }
+  if (options.num_components <= 0) {
+    return Status::InvalidArgument("num_components must be positive");
+  }
+  const int n = static_cast<int>(data.size());
+  const int k = std::min(options.num_components, n);
+
+  // Global variance as initialization and as a floor reference.
+  double mean = 0.0;
+  for (double x : data) mean += x;
+  mean /= n;
+  double variance = 0.0;
+  for (double x : data) variance += (x - mean) * (x - mean);
+  variance = n > 1 ? variance / (n - 1) : options.min_variance;
+  variance = std::max(variance, options.min_variance);
+
+  Rng rng(options.seed);
+  std::vector<GaussianComponent> comps(k);
+  std::vector<double> means = SeedMeans(data, k, &rng);
+  for (int c = 0; c < k; ++c) {
+    comps[c] = {1.0 / k, means[c], variance};
+  }
+
+  std::vector<double> resp(static_cast<size_t>(n) * k);
+  double previous_ll = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E step: responsibilities (log-sum-exp stabilized).
+    double log_likelihood = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double max_log = -std::numeric_limits<double>::infinity();
+      std::vector<double> logp(k);
+      for (int c = 0; c < k; ++c) {
+        double z = data[i] - comps[c].mean;
+        logp[c] = std::log(comps[c].weight) -
+                  0.5 * std::log(2.0 * M_PI * comps[c].variance) -
+                  z * z / (2.0 * comps[c].variance);
+        max_log = std::max(max_log, logp[c]);
+      }
+      double sum = 0.0;
+      for (int c = 0; c < k; ++c) sum += std::exp(logp[c] - max_log);
+      double log_norm = max_log + std::log(sum);
+      log_likelihood += log_norm;
+      for (int c = 0; c < k; ++c) {
+        resp[static_cast<size_t>(i) * k + c] = std::exp(logp[c] - log_norm);
+      }
+    }
+    // M step.
+    for (int c = 0; c < k; ++c) {
+      double weight_sum = 0.0, mean_sum = 0.0;
+      for (int i = 0; i < n; ++i) {
+        double r = resp[static_cast<size_t>(i) * k + c];
+        weight_sum += r;
+        mean_sum += r * data[i];
+      }
+      if (weight_sum < 1e-12) {
+        // Dead component: re-seed on a random sample.
+        comps[c].mean = data[static_cast<size_t>(
+            rng.UniformInt(0, n - 1))];
+        comps[c].variance = variance;
+        comps[c].weight = 1.0 / n;
+        continue;
+      }
+      double new_mean = mean_sum / weight_sum;
+      double var_sum = 0.0;
+      for (int i = 0; i < n; ++i) {
+        double r = resp[static_cast<size_t>(i) * k + c];
+        var_sum += r * (data[i] - new_mean) * (data[i] - new_mean);
+      }
+      comps[c].mean = new_mean;
+      comps[c].variance =
+          std::max(var_sum / weight_sum, options.min_variance);
+      comps[c].weight = weight_sum / n;
+    }
+    // Renormalize weights (dead-component re-seeding can unbalance them).
+    double total_weight = 0.0;
+    for (const auto& c : comps) total_weight += c.weight;
+    for (auto& c : comps) c.weight /= total_weight;
+
+    double avg_ll = log_likelihood / n;
+    if (avg_ll - previous_ll < options.tolerance && iter > 0) break;
+    previous_ll = avg_ll;
+  }
+  return GaussianMixture::Create(std::move(comps));
+}
+
+double AverageLogLikelihood(const GaussianMixture& mixture,
+                            const std::vector<double>& data) {
+  if (data.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : data) {
+    total += std::log(std::max(mixture.Pdf(x), 1e-300));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+}  // namespace watter

@@ -1,0 +1,39 @@
+// Expectation-Maximization fitting of a Gaussian Mixture Model to scalar
+// samples (Algorithm 3 line 1: "M <- the GMM fitting result on H").
+#ifndef WATTER_STATS_EM_FITTER_H_
+#define WATTER_STATS_EM_FITTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/stats/gmm.h"
+
+namespace watter {
+
+/// EM configuration.
+struct EmOptions {
+  int num_components = 3;
+  int max_iterations = 200;
+  /// Stop when the average log-likelihood improves by less than this.
+  double tolerance = 1e-7;
+  /// Variance floor guarding against collapse onto a single point.
+  double min_variance = 1e-6;
+  uint64_t seed = 1;
+};
+
+/// Fits a GMM with k-means++-style seeding followed by EM.
+///
+/// Errors: InvalidArgument for empty data or non-positive component counts.
+/// If the data has fewer distinct values than components, the fit degrades
+/// gracefully (components share locations; variances hit the floor).
+Result<GaussianMixture> FitGmm(const std::vector<double>& data,
+                               const EmOptions& options = {});
+
+/// Average log-likelihood of `data` under `mixture` (fit-quality metric).
+double AverageLogLikelihood(const GaussianMixture& mixture,
+                            const std::vector<double>& data);
+
+}  // namespace watter
+
+#endif  // WATTER_STATS_EM_FITTER_H_

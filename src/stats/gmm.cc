@@ -1,0 +1,65 @@
+#include "src/stats/gmm.h"
+
+#include <cmath>
+
+namespace watter {
+
+Result<GaussianMixture> GaussianMixture::Create(
+    std::vector<GaussianComponent> components) {
+  if (components.empty()) {
+    return Status::InvalidArgument("mixture needs at least one component");
+  }
+  double total_weight = 0.0;
+  for (const GaussianComponent& c : components) {
+    if (!(c.weight > 0.0)) {
+      return Status::InvalidArgument("component weights must be positive");
+    }
+    if (!(c.variance > 0.0)) {
+      return Status::InvalidArgument("component variances must be positive");
+    }
+    total_weight += c.weight;
+  }
+  for (GaussianComponent& c : components) c.weight /= total_weight;
+  return GaussianMixture(std::move(components));
+}
+
+double GaussianMixture::StandardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double GaussianMixture::Pdf(double x) const {
+  double density = 0.0;
+  for (const GaussianComponent& c : components_) {
+    double z = (x - c.mean);
+    density += c.weight *
+               std::exp(-z * z / (2.0 * c.variance)) /
+               std::sqrt(2.0 * M_PI * c.variance);
+  }
+  return density;
+}
+
+double GaussianMixture::Cdf(double x) const {
+  double cumulative = 0.0;
+  for (const GaussianComponent& c : components_) {
+    cumulative +=
+        c.weight * StandardNormalCdf((x - c.mean) / std::sqrt(c.variance));
+  }
+  return cumulative;
+}
+
+double GaussianMixture::Mean() const {
+  double mean = 0.0;
+  for (const GaussianComponent& c : components_) mean += c.weight * c.mean;
+  return mean;
+}
+
+double GaussianMixture::Variance() const {
+  double mean = Mean();
+  double variance = 0.0;
+  for (const GaussianComponent& c : components_) {
+    variance += c.weight * (c.variance + (c.mean - mean) * (c.mean - mean));
+  }
+  return variance;
+}
+
+}  // namespace watter

@@ -1,0 +1,51 @@
+// Gaussian Mixture Model used to fit the distribution of historical extra
+// times (Section V-C, "Distribution Fitting").
+#ifndef WATTER_STATS_GMM_H_
+#define WATTER_STATS_GMM_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace watter {
+
+/// One mixture component.
+struct GaussianComponent {
+  double weight = 1.0;
+  double mean = 0.0;
+  double variance = 1.0;
+};
+
+/// A fixed (fitted) mixture of Gaussians over a scalar variable.
+class GaussianMixture {
+ public:
+  /// Components must have positive weights summing to ~1 and positive
+  /// variances; weights are renormalized defensively.
+  static Result<GaussianMixture> Create(
+      std::vector<GaussianComponent> components);
+
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+
+  /// Mixture mean and variance (law of total variance).
+  double Mean() const;
+  double Variance() const;
+
+  int num_components() const { return static_cast<int>(components_.size()); }
+  const std::vector<GaussianComponent>& components() const {
+    return components_;
+  }
+
+  /// Standard normal CDF via erfc (double precision accurate).
+  static double StandardNormalCdf(double z);
+
+ private:
+  explicit GaussianMixture(std::vector<GaussianComponent> components)
+      : components_(std::move(components)) {}
+
+  std::vector<GaussianComponent> components_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_STATS_GMM_H_

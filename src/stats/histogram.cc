@@ -1,0 +1,45 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watter {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi > lo ? hi : lo + 1.0),
+      width_((hi_ - lo_) / std::max(1, bins)),
+      counts_(static_cast<size_t>(std::max(1, bins)), 0) {}
+
+void Histogram::Add(double x) {
+  int bin = static_cast<int>((x - lo_) / width_);
+  bin = std::clamp(bin, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[bin];
+  if (count_ == 0) {
+    min_seen_ = max_seen_ = x;
+  } else {
+    min_seen_ = std::min(min_seen_, x);
+    max_seen_ = std::max(max_seen_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t bin = 0; bin < counts_.size(); ++bin) {
+    if (cumulative + counts_[bin] >= target) {
+      double within =
+          counts_[bin] > 0
+              ? (target - cumulative) / static_cast<double>(counts_[bin])
+              : 0.0;
+      return lo_ + (static_cast<double>(bin) + within) * width_;
+    }
+    cumulative += counts_[bin];
+  }
+  return hi_;
+}
+
+}  // namespace watter

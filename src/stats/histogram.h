@@ -1,0 +1,44 @@
+// Fixed-bin histogram with quantile queries; used to characterize extra-time
+// distributions in benches and the RL feature diagnostics.
+#ifndef WATTER_STATS_HISTOGRAM_H_
+#define WATTER_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace watter {
+
+/// Equal-width histogram over [lo, hi); out-of-range samples clamp into the
+/// boundary bins so mass is never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min_seen() const { return min_seen_; }
+  double max_seen() const { return max_seen_; }
+
+  /// Approximate q-quantile (0 <= q <= 1) by linear interpolation within
+  /// the containing bin. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  const std::vector<int64_t>& bin_counts() const { return counts_; }
+  double bin_width() const { return width_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_STATS_HISTOGRAM_H_

@@ -1,0 +1,45 @@
+#include "src/stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watter {
+
+double KolmogorovPValue(double statistic, size_t num_samples) {
+  if (num_samples == 0 || statistic <= 0.0) return 1.0;
+  double sqrt_n = std::sqrt(static_cast<double>(num_samples));
+  double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic;
+  // Alternating series; converges in a handful of terms for lambda > 0.3.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    double term = 2.0 * std::exp(-2.0 * k * k * lambda * lambda);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+KsResult KolmogorovSmirnovTest(
+    std::vector<double> samples,
+    const std::function<double(double)>& model_cdf) {
+  KsResult result;
+  if (samples.empty()) {
+    result.p_value = 1.0;
+    return result;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double model = model_cdf(samples[i]);
+    // Both one-sided gaps around the step at samples[i].
+    double upper = (static_cast<double>(i) + 1.0) / n - model;
+    double lower = model - static_cast<double>(i) / n;
+    d = std::max({d, upper, lower});
+  }
+  result.statistic = d;
+  result.p_value = KolmogorovPValue(d, samples.size());
+  return result;
+}
+
+}  // namespace watter

@@ -1,0 +1,32 @@
+// Kolmogorov-Smirnov goodness-of-fit statistic.
+//
+// Used to quantify how well the fitted Gaussian mixture matches the
+// empirical extra-time distribution (Section V-C assumes the fit is usable;
+// this makes "usable" measurable in tests and benches).
+#ifndef WATTER_STATS_KS_TEST_H_
+#define WATTER_STATS_KS_TEST_H_
+
+#include <functional>
+#include <vector>
+
+namespace watter {
+
+/// One-sample KS result.
+struct KsResult {
+  double statistic = 0.0;  ///< sup_x |F_empirical(x) - F_model(x)|.
+  double p_value = 0.0;    ///< Asymptotic Kolmogorov p-value.
+};
+
+/// Computes the one-sample KS statistic of `samples` against `model_cdf`.
+/// Samples need not be sorted. Empty input yields statistic 0 / p-value 1.
+KsResult KolmogorovSmirnovTest(std::vector<double> samples,
+                               const std::function<double(double)>& model_cdf);
+
+/// The asymptotic Kolmogorov distribution complement Q(lambda) =
+/// 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2); p-value of a KS statistic
+/// d with n samples is Q((sqrt(n) + 0.12 + 0.11/sqrt(n)) * d).
+double KolmogorovPValue(double statistic, size_t num_samples);
+
+}  // namespace watter
+
+#endif  // WATTER_STATS_KS_TEST_H_

@@ -1,0 +1,87 @@
+#include "src/stats/threshold_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watter {
+
+double ReducedObjective(double penalty, double theta, const CdfFn& cdf) {
+  return (penalty - theta) * cdf(theta);
+}
+
+double OptimalThreshold(double penalty, const CdfFn& cdf, int iterations) {
+  if (penalty <= 0.0) return 0.0;
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/golden ratio.
+  double lo = 0.0, hi = penalty;
+  double x1 = hi - kInvPhi * (hi - lo);
+  double x2 = lo + kInvPhi * (hi - lo);
+  double f1 = ReducedObjective(penalty, x1, cdf);
+  double f2 = ReducedObjective(penalty, x2, cdf);
+  for (int i = 0; i < iterations && hi - lo > 1e-10 * penalty; ++i) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kInvPhi * (hi - lo);
+      f2 = ReducedObjective(penalty, x2, cdf);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kInvPhi * (hi - lo);
+      f1 = ReducedObjective(penalty, x1, cdf);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double OptimalThresholdGradient(double penalty, const CdfFn& cdf,
+                                int max_steps, double learning_rate) {
+  if (penalty <= 0.0) return 0.0;
+  double eps = 1e-6 * penalty + 1e-9;
+  // Multi-start ascent: mixture CDFs can make G(theta) multi-modal in
+  // practice even though the paper argues unimodality, so restart from a
+  // few spread points and keep the best.
+  double best_theta = 0.0;
+  double best_value = ReducedObjective(penalty, 0.0, cdf);
+  for (double start : {0.2, 0.5, 0.8}) {
+    double theta = start * penalty;
+    for (int i = 0; i < max_steps; ++i) {
+      double grad = (ReducedObjective(penalty, theta + eps, cdf) -
+                     ReducedObjective(penalty, theta - eps, cdf)) /
+                    (2.0 * eps);
+      // Fresh step each iteration with backtracking line search.
+      double step = learning_rate * penalty;
+      double next = std::clamp(theta + step * grad, 0.0, penalty);
+      while (ReducedObjective(penalty, next, cdf) + 1e-15 <
+                 ReducedObjective(penalty, theta, cdf) &&
+             step > 1e-12 * penalty) {
+        step *= 0.5;
+        next = std::clamp(theta + step * grad, 0.0, penalty);
+      }
+      if (std::abs(next - theta) < 1e-10 * penalty) break;
+      theta = next;
+    }
+    double value = ReducedObjective(penalty, theta, cdf);
+    if (value > best_value) {
+      best_value = value;
+      best_theta = theta;
+    }
+  }
+  return best_theta;
+}
+
+double ThresholdTable::ThresholdFor(double penalty) {
+  if (penalty <= 0.0) return 0.0;
+  int64_t key = static_cast<int64_t>(std::llround(penalty / resolution_));
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  double quantized_penalty = static_cast<double>(key) * resolution_;
+  if (quantized_penalty <= 0.0) quantized_penalty = penalty;
+  double theta = OptimalThreshold(
+      quantized_penalty, [this](double x) { return mixture_.Cdf(x); });
+  cache_.emplace(key, theta);
+  return theta;
+}
+
+}  // namespace watter

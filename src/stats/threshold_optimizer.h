@@ -1,0 +1,61 @@
+// Optimization of the reduced METRS objective (Section V-B/V-C).
+//
+// The paper reduces METRS to maximizing G(theta) = (p - theta) * F(theta)
+// per order, where p is the rejection penalty and F the CDF of the extra-
+// time distribution. G is the product of a decreasing linear term and an
+// increasing CDF, hence unimodal on [0, p]; golden-section search finds the
+// maximizer without derivative assumptions, and an optional gradient-descent
+// polish mirrors Algorithm 3's "existing optimization methods".
+#ifndef WATTER_STATS_THRESHOLD_OPTIMIZER_H_
+#define WATTER_STATS_THRESHOLD_OPTIMIZER_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/stats/gmm.h"
+
+namespace watter {
+
+/// Scalar CDF abstraction: monotone non-decreasing into [0, 1].
+using CdfFn = std::function<double(double)>;
+
+/// Returns argmax over theta in [0, penalty] of (penalty - theta)*F(theta).
+/// `iterations` golden-section steps give ~1e-10 relative bracketing.
+double OptimalThreshold(double penalty, const CdfFn& cdf,
+                        int iterations = 80);
+
+/// The objective value G(theta) itself (exposed for tests/benches).
+double ReducedObjective(double penalty, double theta, const CdfFn& cdf);
+
+/// Gradient-descent variant (the paper names gradient descent explicitly).
+/// Uses a numerical derivative; converges to the same optimum on unimodal
+/// objectives, provided step control; exposed mainly for the ablation bench.
+double OptimalThresholdGradient(double penalty, const CdfFn& cdf,
+                                int max_steps = 400,
+                                double learning_rate = 0.05);
+
+/// Memoized per-penalty optimal thresholds against a fixed mixture.
+///
+/// All orders with (approximately) equal penalties share one optimization,
+/// which is what makes the GMM strategy O(1) per decision in practice.
+class ThresholdTable {
+ public:
+  ThresholdTable(GaussianMixture mixture, double penalty_resolution = 1.0)
+      : mixture_(std::move(mixture)),
+        resolution_(penalty_resolution > 0 ? penalty_resolution : 1.0) {}
+
+  /// theta*(penalty), cached on a penalty grid of `resolution` seconds.
+  double ThresholdFor(double penalty);
+
+  const GaussianMixture& mixture() const { return mixture_; }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  GaussianMixture mixture_;
+  double resolution_;
+  std::unordered_map<int64_t, double> cache_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_STATS_THRESHOLD_OPTIMIZER_H_

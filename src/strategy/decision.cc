@@ -1,0 +1,28 @@
+#include "src/strategy/decision.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace watter {
+
+bool DecideGroupDispatch(const BestGroup& group,
+                         const std::vector<const Order*>& members, Time now,
+                         const ExtraTimeWeights& weights,
+                         ThresholdProvider* provider,
+                         const PoolContext& context) {
+  DecisionInputs inputs;
+  inputs.now = now;
+  inputs.average_extra_time = group.AverageExtraTime(now, weights);
+  inputs.earliest_wait_deadline = std::numeric_limits<double>::infinity();
+  double threshold_sum = 0.0;
+  for (const Order* order : members) {
+    inputs.earliest_wait_deadline =
+        std::min(inputs.earliest_wait_deadline, order->WaitDeadline());
+    threshold_sum += provider->ThresholdFor(*order, now, context);
+  }
+  inputs.average_threshold =
+      threshold_sum / static_cast<double>(members.size());
+  return MakeDispatchDecision(inputs);
+}
+
+}  // namespace watter

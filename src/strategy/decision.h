@@ -1,0 +1,39 @@
+// Algorithm 2: the average extra-time threshold-based grouping strategy.
+#ifndef WATTER_STRATEGY_DECISION_H_
+#define WATTER_STRATEGY_DECISION_H_
+
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/pool/best_group_map.h"
+#include "src/strategy/threshold_provider.h"
+
+namespace watter {
+
+/// Inputs of one hold/dispatch decision for a candidate group.
+struct DecisionInputs {
+  double average_extra_time = 0.0;        ///< \bar{te} (Algorithm 2 line 4).
+  double average_threshold = 0.0;         ///< \bar{theta} (line 5).
+  Time earliest_wait_deadline = 0.0;      ///< min_i (t(i) + eta(i)) (line 1).
+  Time now = 0.0;                         ///< System timestamp ts.
+};
+
+/// Algorithm 2: dispatch when the earliest member's waiting window has
+/// elapsed, or when the group's average extra time is within the average
+/// expected threshold.
+inline bool MakeDispatchDecision(const DecisionInputs& inputs) {
+  if (inputs.now > inputs.earliest_wait_deadline) return true;  // Lines 2-3.
+  return inputs.average_extra_time <= inputs.average_threshold;  // Line 6.
+}
+
+/// Convenience: evaluates Algorithm 2 for a concrete best group by querying
+/// each member's threshold from `provider`. `orders` resolves member ids.
+bool DecideGroupDispatch(const BestGroup& group,
+                         const std::vector<const Order*>& members, Time now,
+                         const ExtraTimeWeights& weights,
+                         ThresholdProvider* provider,
+                         const PoolContext& context);
+
+}  // namespace watter
+
+#endif  // WATTER_STRATEGY_DECISION_H_

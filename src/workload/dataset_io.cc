@@ -1,0 +1,117 @@
+#include "src/workload/dataset_io.h"
+
+#include <cstdlib>
+
+#include "src/common/csv.h"
+
+namespace watter {
+namespace {
+
+Result<double> ParseDouble(const std::string& field) {
+  char* end = nullptr;
+  double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Status SaveOrdersCsv(const std::string& path,
+                     const std::vector<Order>& orders) {
+  CsvDocument doc;
+  doc.header = {"id",       "pickup",    "dropoff",     "riders",
+                "release",  "deadline",  "wait_limit",  "shortest_cost"};
+  doc.rows.reserve(orders.size());
+  for (const Order& o : orders) {
+    doc.rows.push_back({std::to_string(o.id), std::to_string(o.pickup),
+                        std::to_string(o.dropoff), std::to_string(o.riders),
+                        std::to_string(o.release), std::to_string(o.deadline),
+                        std::to_string(o.wait_limit),
+                        std::to_string(o.shortest_cost)});
+  }
+  return WriteCsv(path, doc);
+}
+
+Result<std::vector<Order>> LoadOrdersCsv(const std::string& path) {
+  auto doc = ReadCsv(path);
+  if (!doc.ok()) return doc.status();
+  const char* columns[] = {"id",      "pickup",   "dropoff",
+                           "riders",  "release",  "deadline",
+                           "wait_limit", "shortest_cost"};
+  int index[8];
+  for (int c = 0; c < 8; ++c) {
+    index[c] = doc->ColumnIndex(columns[c]);
+    if (index[c] < 0) {
+      return Status::InvalidArgument(std::string("missing column: ") +
+                                     columns[c]);
+    }
+  }
+  std::vector<Order> orders;
+  orders.reserve(doc->rows.size());
+  for (const auto& row : doc->rows) {
+    if (row.size() < 8) {
+      return Status::InvalidArgument("short row in " + path);
+    }
+    double fields[8];
+    for (int c = 0; c < 8; ++c) {
+      auto value = ParseDouble(row[index[c]]);
+      if (!value.ok()) return value.status();
+      fields[c] = *value;
+    }
+    Order order;
+    order.id = static_cast<OrderId>(fields[0]);
+    order.pickup = static_cast<NodeId>(fields[1]);
+    order.dropoff = static_cast<NodeId>(fields[2]);
+    order.riders = static_cast<int>(fields[3]);
+    order.release = fields[4];
+    order.deadline = fields[5];
+    order.wait_limit = fields[6];
+    order.shortest_cost = fields[7];
+    orders.push_back(order);
+  }
+  return orders;
+}
+
+Status SaveWorkersCsv(const std::string& path,
+                      const std::vector<Worker>& workers) {
+  CsvDocument doc;
+  doc.header = {"id", "location", "capacity"};
+  doc.rows.reserve(workers.size());
+  for (const Worker& w : workers) {
+    doc.rows.push_back({std::to_string(w.id), std::to_string(w.location),
+                        std::to_string(w.capacity)});
+  }
+  return WriteCsv(path, doc);
+}
+
+Result<std::vector<Worker>> LoadWorkersCsv(const std::string& path) {
+  auto doc = ReadCsv(path);
+  if (!doc.ok()) return doc.status();
+  int id_col = doc->ColumnIndex("id");
+  int loc_col = doc->ColumnIndex("location");
+  int cap_col = doc->ColumnIndex("capacity");
+  if (id_col < 0 || loc_col < 0 || cap_col < 0) {
+    return Status::InvalidArgument("missing worker columns in " + path);
+  }
+  std::vector<Worker> workers;
+  workers.reserve(doc->rows.size());
+  for (const auto& row : doc->rows) {
+    if (row.size() < 3) return Status::InvalidArgument("short row in " + path);
+    auto id = ParseDouble(row[id_col]);
+    auto loc = ParseDouble(row[loc_col]);
+    auto cap = ParseDouble(row[cap_col]);
+    if (!id.ok()) return id.status();
+    if (!loc.ok()) return loc.status();
+    if (!cap.ok()) return cap.status();
+    Worker worker;
+    worker.id = static_cast<WorkerId>(*id);
+    worker.location = static_cast<NodeId>(*loc);
+    worker.capacity = static_cast<int>(*cap);
+    workers.push_back(worker);
+  }
+  return workers;
+}
+
+}  // namespace watter

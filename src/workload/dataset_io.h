@@ -1,0 +1,31 @@
+// CSV persistence for generated datasets, so examples and benches can
+// re-run the exact same workload across processes.
+#ifndef WATTER_WORKLOAD_DATASET_IO_H_
+#define WATTER_WORKLOAD_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/types.h"
+
+namespace watter {
+
+/// Writes orders as CSV (id,pickup,dropoff,riders,release,deadline,
+/// wait_limit,shortest_cost).
+Status SaveOrdersCsv(const std::string& path,
+                     const std::vector<Order>& orders);
+
+/// Reads orders back; validates column presence and numeric fields.
+Result<std::vector<Order>> LoadOrdersCsv(const std::string& path);
+
+/// Writes workers as CSV (id,location,capacity).
+Status SaveWorkersCsv(const std::string& path,
+                      const std::vector<Worker>& workers);
+
+/// Reads workers back.
+Result<std::vector<Worker>> LoadWorkersCsv(const std::string& path);
+
+}  // namespace watter
+
+#endif  // WATTER_WORKLOAD_DATASET_IO_H_

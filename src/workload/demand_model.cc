@@ -1,0 +1,111 @@
+#include "src/workload/demand_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watter {
+namespace {
+
+/// Double-peaked rush-hour curve: low at night, peaks ~8h and ~18h.
+std::vector<double> RushHourCurve(double peak_sharpness) {
+  std::vector<double> curve(24);
+  for (int hour = 0; hour < 24; ++hour) {
+    double morning = std::exp(-(hour - 8.0) * (hour - 8.0) /
+                              (2.0 * peak_sharpness * peak_sharpness));
+    double evening = std::exp(-(hour - 18.0) * (hour - 18.0) /
+                              (2.0 * peak_sharpness * peak_sharpness));
+    curve[hour] = 0.15 + morning + 0.9 * evening;
+  }
+  return curve;
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kNyc:
+      return "NYC";
+    case DatasetKind::kCdc:
+      return "CDC";
+    case DatasetKind::kXia:
+      return "XIA";
+  }
+  return "?";
+}
+
+DemandModel MakeDemandModel(DatasetKind kind) {
+  DemandModel model;
+  model.name = DatasetName(kind);
+  switch (kind) {
+    case DatasetKind::kNyc:
+      // Manhattan-like: one dominant dense core plus two satellites; trips
+      // overwhelmingly start and end near the core.
+      model.pickup_spots = {
+          {{0.5, 0.45}, 0.07, 0.70},
+          {{0.35, 0.7}, 0.06, 0.18},
+          {{0.7, 0.25}, 0.08, 0.12},
+      };
+      model.dropoff_spots = {
+          {{0.5, 0.5}, 0.09, 0.62},
+          {{0.3, 0.75}, 0.07, 0.20},
+          {{0.75, 0.2}, 0.09, 0.18},
+      };
+      model.hourly_rate = RushHourCurve(2.0);
+      break;
+    case DatasetKind::kCdc:
+      // Chengdu-like: several comparable centers spread across the city.
+      model.pickup_spots = {
+          {{0.25, 0.25}, 0.12, 0.3},
+          {{0.75, 0.3}, 0.12, 0.25},
+          {{0.3, 0.75}, 0.13, 0.25},
+          {{0.7, 0.7}, 0.12, 0.2},
+      };
+      model.dropoff_spots = {
+          {{0.5, 0.5}, 0.16, 0.34},
+          {{0.2, 0.7}, 0.13, 0.22},
+          {{0.8, 0.65}, 0.14, 0.22},
+          {{0.7, 0.2}, 0.13, 0.22},
+      };
+      model.hourly_rate = RushHourCurve(2.5);
+      break;
+    case DatasetKind::kXia:
+      // Xi'an-like: dispersed demand with a faint old-town center.
+      model.pickup_spots = {
+          {{0.5, 0.5}, 0.2, 0.4},
+          {{0.2, 0.3}, 0.15, 0.2},
+          {{0.8, 0.4}, 0.15, 0.2},
+          {{0.45, 0.8}, 0.16, 0.2},
+      };
+      model.dropoff_spots = {
+          {{0.5, 0.45}, 0.22, 0.4},
+          {{0.25, 0.75}, 0.16, 0.3},
+          {{0.75, 0.75}, 0.16, 0.3},
+      };
+      model.hourly_rate = RushHourCurve(3.0);
+      break;
+  }
+  return model;
+}
+
+Point SampleFromHotspots(const std::vector<Hotspot>& spots, int width,
+                         int height, Rng* rng) {
+  std::vector<double> weights;
+  weights.reserve(spots.size());
+  for (const Hotspot& spot : spots) weights.push_back(spot.weight);
+  const Hotspot& spot = spots[rng->SampleIndex(weights)];
+  double diagonal = std::sqrt(static_cast<double>(width) * width +
+                              static_cast<double>(height) * height);
+  double x = rng->Normal(spot.center.x * (width - 1),
+                         spot.sigma * diagonal);
+  double y = rng->Normal(spot.center.y * (height - 1),
+                         spot.sigma * diagonal);
+  return Point{std::clamp(x, 0.0, static_cast<double>(width - 1)),
+               std::clamp(y, 0.0, static_cast<double>(height - 1))};
+}
+
+double SampleTimeOfDay(const std::vector<double>& hourly_rate, Rng* rng) {
+  int hour = rng->SampleIndex(hourly_rate);
+  return 3600.0 * (hour + rng->Uniform());
+}
+
+}  // namespace watter

@@ -1,0 +1,131 @@
+#include "src/workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watter {
+namespace {
+
+/// Snaps a continuous city point to the nearest road node.
+NodeId SnapToNode(const City& city, Point p) {
+  int col = static_cast<int>(std::lround(p.x));
+  int row = static_cast<int>(std::lround(p.y));
+  col = std::clamp(col, 0, city.width - 1);
+  row = std::clamp(row, 0, city.height - 1);
+  return city.NodeAt(row, col);
+}
+
+}  // namespace
+
+Result<Scenario> GenerateScenario(const WorkloadOptions& options) {
+  if (options.num_orders <= 0 || options.num_workers <= 0) {
+    return Status::InvalidArgument("need positive order and worker counts");
+  }
+  if (options.tau <= 1.0) {
+    return Status::InvalidArgument(
+        "tau must exceed 1 (deadline below the direct ride time)");
+  }
+  if (options.eta <= 0.0) {
+    return Status::InvalidArgument("eta must be positive");
+  }
+  if (options.max_riders < 1 || options.max_riders > options.max_capacity) {
+    return Status::InvalidArgument(
+        "max_riders must be in [1, max_capacity]");
+  }
+
+  Scenario scenario;
+  scenario.options = options;
+
+  CityOptions city_options;
+  city_options.width = options.city_width;
+  city_options.height = options.city_height;
+  city_options.cell_seconds = options.cell_seconds;
+  city_options.seed =
+      options.city_seed != 0 ? options.city_seed : options.seed * 7919 + 13;
+  auto city = GenerateCity(city_options);
+  if (!city.ok()) return city.status();
+  scenario.city = std::make_shared<City>(std::move(city).value());
+
+  auto oracle = BuildOracle(scenario.city->graph, options.oracle);
+  if (!oracle.ok()) return oracle.status();
+  scenario.oracle = std::move(oracle).value();
+
+  DemandModel model = MakeDemandModel(options.dataset);
+  Rng rng(options.seed);
+
+  // Restrict the hourly curve to the simulated window by rejection.
+  double window_start = options.start_hour * 3600.0;
+  double window_end = window_start + options.duration;
+
+  scenario.orders.reserve(options.num_orders);
+  for (int i = 0; i < options.num_orders; ++i) {
+    Order order;
+    order.id = i + 1;
+    // Paper default: each record is a single-passenger order.
+    order.riders = options.max_riders <= 1
+                       ? 1
+                       : static_cast<int>(
+                             rng.UniformInt(1, options.max_riders));
+    // Release time: time-of-day sample conditioned into the window.
+    double tod;
+    int guard = 0;
+    do {
+      tod = SampleTimeOfDay(model.hourly_rate, &rng);
+      if (++guard > 512) {
+        tod = window_start +
+              rng.Uniform() * (window_end - window_start);
+        break;
+      }
+    } while (tod < window_start || tod >= window_end);
+    order.release = tod;
+
+    // Origin-destination pair with a minimum trip length.
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      Point pickup = SampleFromHotspots(model.pickup_spots,
+                                        scenario.city->width,
+                                        scenario.city->height, &rng);
+      Point dropoff = SampleFromHotspots(model.dropoff_spots,
+                                         scenario.city->width,
+                                         scenario.city->height, &rng);
+      if (EuclideanDistance(pickup, dropoff) < model.min_trip_cells) {
+        continue;
+      }
+      order.pickup = SnapToNode(*scenario.city, pickup);
+      order.dropoff = SnapToNode(*scenario.city, dropoff);
+      if (order.pickup == order.dropoff) continue;
+      double cost = scenario.oracle->Cost(order.pickup, order.dropoff);
+      if (cost == kInfCost || cost <= 0.0) continue;
+      order.shortest_cost = cost;
+      break;
+    }
+    if (order.shortest_cost <= 0.0) {
+      return Status::Internal("failed to sample a valid trip");
+    }
+    order.deadline = order.release + options.tau * order.shortest_cost;
+    order.wait_limit = options.eta * order.shortest_cost;
+    scenario.orders.push_back(order);
+  }
+  std::sort(scenario.orders.begin(), scenario.orders.end(),
+            [](const Order& a, const Order& b) {
+              if (a.release != b.release) return a.release < b.release;
+              return a.id < b.id;
+            });
+
+  scenario.workers.reserve(options.num_workers);
+  for (int j = 0; j < options.num_workers; ++j) {
+    Worker worker;
+    worker.id = j + 1;
+    Point start = SampleFromHotspots(model.pickup_spots,
+                                     scenario.city->width,
+                                     scenario.city->height, &rng);
+    worker.location = SnapToNode(*scenario.city, start);
+    worker.capacity =
+        static_cast<int>(rng.UniformInt(2, std::max(2, options.max_capacity)));
+    worker.busy = false;
+    worker.available_at = 0.0;
+    scenario.workers.push_back(worker);
+  }
+  return scenario;
+}
+
+}  // namespace watter

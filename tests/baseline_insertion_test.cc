@@ -1,0 +1,212 @@
+// Property tests of the insertion operator: the O(m^2) search must return
+// exactly the optimum over all feasible splice positions, validated against
+// an independent brute-force reference built from full stop sequences.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/baseline/insertion.h"
+#include "src/common/rng.h"
+#include "src/geo/city_generator.h"
+#include "tests/test_util.h"
+
+namespace watter {
+namespace {
+
+constexpr double kMin = 60.0;
+
+/// Brute-force reference: rebuilds the full node sequence for every (i, j)
+/// and measures feasibility and cost from scratch.
+InsertionCandidate BruteForceInsertion(const InsertionQuery& query,
+                                       const Order& order,
+                                       TravelTimeOracle* oracle) {
+  const int m = static_cast<int>(query.suffix.size());
+  double base = 0.0;
+  {
+    NodeId prev = query.anchor;
+    for (const auto& stop : query.suffix) {
+      base += oracle->Cost(prev, stop.node);
+      prev = stop.node;
+    }
+  }
+  InsertionCandidate best;
+  for (int i = 0; i <= m; ++i) {
+    for (int j = i; j <= m; ++j) {
+      // Build the explicit event sequence: (node, deadline, delta).
+      struct Event {
+        NodeId node;
+        Time deadline;
+        int delta;
+      };
+      std::vector<Event> events;
+      for (int s = 0; s <= m; ++s) {
+        if (s == i) events.push_back({order.pickup, kInfCost, order.riders});
+        if (s == j) {
+          events.push_back({order.dropoff, order.deadline, -order.riders});
+        }
+        if (s < m) {
+          events.push_back({query.suffix[s].node, query.suffix[s].deadline,
+                            query.suffix[s].rider_delta});
+        }
+      }
+      NodeId prev = query.anchor;
+      Time t = query.anchor_time;
+      int onboard = query.onboard_at_anchor;
+      double cost = 0.0;
+      bool feasible = true;
+      for (const Event& event : events) {
+        double leg = oracle->Cost(prev, event.node);
+        cost += leg;
+        t += leg;
+        prev = event.node;
+        onboard += event.delta;
+        if (onboard > query.capacity || t > event.deadline) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      double added = cost - base;
+      if (added < best.added_cost) {
+        best = {i, j, added};
+      }
+    }
+  }
+  return best;
+}
+
+TEST(InsertionTest, EmptySuffixIsDirectTrip) {
+  Graph graph = testutil::MakeExample1Graph();
+  DijkstraOracle oracle(&graph);
+  InsertionQuery query;
+  query.anchor = testutil::kA;
+  query.anchor_time = 0.0;
+  query.capacity = 4;
+  Order order;
+  order.pickup = testutil::kD;
+  order.dropoff = testutil::kF;
+  order.riders = 1;
+  order.deadline = 60 * kMin;
+  InsertionCandidate best = FindBestInsertion(query, order, &oracle);
+  ASSERT_TRUE(best.feasible());
+  EXPECT_EQ(best.pickup_pos, 0);
+  EXPECT_EQ(best.dropoff_pos, 0);
+  // a -> d -> (via e) f: 1 + 2 minutes.
+  EXPECT_DOUBLE_EQ(best.added_cost, 3 * kMin);
+}
+
+TEST(InsertionTest, CapacityBlocksOverlappingRiders) {
+  Graph graph = testutil::MakeExample1Graph();
+  DijkstraOracle oracle(&graph);
+  InsertionQuery query;
+  query.anchor = testutil::kD;
+  query.anchor_time = 0.0;
+  query.onboard_at_anchor = 1;  // One rider already on board...
+  query.capacity = 1;           // ...and no more seats.
+  query.suffix = {{testutil::kF, 60 * kMin, -1}};  // Their drop-off at f.
+  Order order;
+  order.pickup = testutil::kE;
+  order.dropoff = testutil::kF;
+  order.riders = 1;
+  order.deadline = 120 * kMin;
+  InsertionCandidate best = FindBestInsertion(query, order, &oracle);
+  ASSERT_TRUE(best.feasible());
+  // Must wait until after the drop-off: pickup/dropoff appended at the end.
+  EXPECT_EQ(best.pickup_pos, 1);
+  EXPECT_EQ(best.dropoff_pos, 1);
+}
+
+TEST(InsertionTest, DeadlineOfExistingRiderBlocksDetour) {
+  Graph graph = testutil::MakeExample1Graph();
+  DijkstraOracle oracle(&graph);
+  InsertionQuery query;
+  query.anchor = testutil::kD;
+  query.anchor_time = 0.0;
+  query.onboard_at_anchor = 1;
+  query.capacity = 4;
+  // Existing rider must reach f within 2 minutes: any pre-drop detour dies.
+  query.suffix = {{testutil::kF, 2 * kMin, -1}};
+  Order order;
+  order.pickup = testutil::kA;
+  order.dropoff = testutil::kC;
+  order.riders = 1;
+  order.deadline = 120 * kMin;
+  InsertionCandidate best = FindBestInsertion(query, order, &oracle);
+  ASSERT_TRUE(best.feasible());
+  EXPECT_EQ(best.pickup_pos, 1);  // Only after f is reached.
+  EXPECT_DOUBLE_EQ(
+      EvaluateInsertion(query, order, 0, 0, &oracle), kInfCost);
+}
+
+TEST(InsertionTest, EvaluateRejectsInvalidPositions) {
+  Graph graph = testutil::MakeExample1Graph();
+  DijkstraOracle oracle(&graph);
+  InsertionQuery query;
+  query.anchor = testutil::kA;
+  Order order;
+  order.pickup = testutil::kB;
+  order.dropoff = testutil::kC;
+  order.deadline = 60 * kMin;
+  EXPECT_EQ(EvaluateInsertion(query, order, -1, 0, &oracle), kInfCost);
+  EXPECT_EQ(EvaluateInsertion(query, order, 1, 0, &oracle), kInfCost);
+  EXPECT_EQ(EvaluateInsertion(query, order, 0, 5, &oracle), kInfCost);
+}
+
+class InsertionPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(InsertionPropertyTest, MatchesBruteForceOnRandomSuffixes) {
+  auto city = GenerateCity({.width = 12, .height = 12, .jitter = 0.25,
+                            .seed = GetParam()});
+  ASSERT_TRUE(city.ok());
+  DijkstraOracle oracle(&city->graph);
+  Rng rng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 40; ++trial) {
+    InsertionQuery query;
+    query.anchor = city->RandomNode(&rng);
+    query.anchor_time = rng.Uniform(0, 100);
+    query.capacity = static_cast<int>(rng.UniformInt(1, 4));
+    query.onboard_at_anchor = static_cast<int>(
+        rng.UniformInt(0, query.capacity));
+    int suffix_len = static_cast<int>(rng.UniformInt(0, 5));
+    int onboard = query.onboard_at_anchor;
+    for (int s = 0; s < suffix_len; ++s) {
+      InsertionStop stop;
+      stop.node = city->RandomNode(&rng);
+      bool pickup = onboard == 0 ||
+                    (onboard < query.capacity && rng.Bernoulli(0.5));
+      stop.rider_delta = pickup ? 1 : -1;
+      onboard += stop.rider_delta;
+      stop.deadline =
+          pickup ? kInfCost : query.anchor_time + rng.Uniform(500, 4000);
+      query.suffix.push_back(stop);
+    }
+    Order order;
+    order.id = 1;
+    order.pickup = city->RandomNode(&rng);
+    do {
+      order.dropoff = city->RandomNode(&rng);
+    } while (order.dropoff == order.pickup);
+    order.riders = static_cast<int>(rng.UniformInt(1, 2));
+    order.shortest_cost = oracle.Cost(order.pickup, order.dropoff);
+    order.deadline =
+        query.anchor_time + order.shortest_cost * rng.Uniform(1.0, 2.5);
+
+    InsertionCandidate fast = FindBestInsertion(query, order, &oracle);
+    InsertionCandidate brute = BruteForceInsertion(query, order, &oracle);
+    ASSERT_EQ(fast.feasible(), brute.feasible()) << "trial " << trial;
+    if (fast.feasible()) {
+      EXPECT_NEAR(fast.added_cost, brute.added_cost, 1e-9)
+          << "trial " << trial;
+      // The reported positions must evaluate to the reported cost.
+      EXPECT_NEAR(EvaluateInsertion(query, order, fast.pickup_pos,
+                                    fast.dropoff_pos, &oracle),
+                  fast.added_cost, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InsertionPropertyTest,
+                         testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace watter {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, EmitsToStderrAtOrAboveLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  WATTER_LOG_INFO << "served " << 42 << " orders";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("served 42 orders"), std::string::npos);
+  EXPECT_NE(out.find("common_logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, FiltersBelowLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  WATTER_LOG_DEBUG << "invisible";
+  WATTER_LOG_INFO << "also invisible";
+  WATTER_LOG_WARNING << "visible";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST(LoggingTest, ErrorAlwaysVisibleAtDefaultLevels) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  WATTER_LOG_ERROR << "boom";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace watter

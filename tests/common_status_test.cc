@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace watter {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("order 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "order 42");
+  EXPECT_EQ(s.ToString(), "NotFound: order 42");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Infeasible("x"), Status::Infeasible("x"));
+  EXPECT_NE(Status::Infeasible("x"), Status::Infeasible("y"));
+  EXPECT_NE(Status::Infeasible("x"), Status::Internal("x"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 8; ++code) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+Status FailingOperation() { return Status::IoError("disk on fire"); }
+
+Status Propagates() {
+  WATTER_RETURN_IF_ERROR(FailingOperation());
+  return Status::Internal("should not reach here");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates(), Status::IoError("disk on fire"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int input, int* out) {
+  WATTER_ASSIGN_OR_RETURN(*out, HalfOf(input));
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseAssignOrReturn(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 9);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,122 @@
+// k = 4 exactness check for the dial-a-ride DP: brute force enumerates all
+// 8! stop permutations (precedence-filtered) per instance, so this lives in
+// its own binary with few, carefully seeded trials.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/route_planner.h"
+#include "src/geo/city_generator.h"
+#include "src/geo/travel_time_oracle.h"
+
+namespace watter {
+namespace {
+
+struct BruteResult {
+  double cost = kInfCost;
+};
+
+BruteResult BruteForce(const std::vector<const Order*>& orders,
+                       TravelTimeOracle* oracle, Time depart, int capacity) {
+  const int k = static_cast<int>(orders.size());
+  std::vector<int> stops(2 * k);
+  for (int i = 0; i < 2 * k; ++i) stops[i] = i;
+  BruteResult best;
+  do {
+    bool valid = true;
+    int onboard = 0;
+    std::vector<bool> picked(k, false);
+    double along = 0.0;
+    NodeId prev = kInvalidNode;
+    for (int s = 0; s < 2 * k && valid; ++s) {
+      int stop = stops[s];
+      NodeId node;
+      if (stop < k) {
+        picked[stop] = true;
+        onboard += orders[stop]->riders;
+        if (onboard > capacity) valid = false;
+        node = orders[stop]->pickup;
+      } else {
+        if (!picked[stop - k]) valid = false;
+        onboard -= orders[stop - k]->riders;
+        node = orders[stop - k]->dropoff;
+      }
+      if (!valid) break;
+      if (prev != kInvalidNode) along += oracle->Cost(prev, node);
+      prev = node;
+      if (stop >= k && depart + along > orders[stop - k]->deadline) {
+        valid = false;
+      }
+    }
+    if (valid) best.cost = std::min(best.cost, along);
+  } while (std::next_permutation(stops.begin(), stops.end()));
+  return best;
+}
+
+TEST(PlannerK4Test, MatchesBruteForceAtFourOrders) {
+  auto city = GenerateCity({.width = 10, .height = 10, .jitter = 0.25,
+                            .seed = 77});
+  ASSERT_TRUE(city.ok());
+  auto oracle = BuildOracle(city->graph, OracleKind::kMatrix);
+  ASSERT_TRUE(oracle.ok());
+  RoutePlanner planner(oracle->get());
+  Rng rng(177);
+  for (int trial = 0; trial < 6; ++trial) {
+    Time depart = rng.Uniform(0, 50);
+    int capacity = static_cast<int>(rng.UniformInt(2, 5));
+    std::vector<Order> orders(4);
+    for (int i = 0; i < 4; ++i) {
+      orders[i].id = i + 1;
+      orders[i].pickup = city->RandomNode(&rng);
+      do {
+        orders[i].dropoff = city->RandomNode(&rng);
+      } while (orders[i].dropoff == orders[i].pickup);
+      orders[i].riders = static_cast<int>(rng.UniformInt(1, 2));
+      orders[i].shortest_cost =
+          (*oracle)->Cost(orders[i].pickup, orders[i].dropoff);
+      orders[i].release = depart - rng.Uniform(0, 30);
+      orders[i].deadline =
+          depart + orders[i].shortest_cost * rng.Uniform(1.4, 3.0);
+    }
+    std::vector<const Order*> ptrs;
+    for (const Order& o : orders) ptrs.push_back(&o);
+    BruteResult brute = BruteForce(ptrs, oracle->get(), depart, capacity);
+    auto plan = planner.PlanBest(ptrs, depart, capacity);
+    if (brute.cost == kInfCost) {
+      EXPECT_FALSE(plan.ok()) << "trial " << trial;
+    } else {
+      ASSERT_TRUE(plan.ok()) << "trial " << trial;
+      EXPECT_NEAR(plan->total_cost, brute.cost, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PlannerK4Test, FiveIdenticalOrdersPoolPerfectly) {
+  auto city = GenerateCity({.width = 8, .height = 8, .seed = 3});
+  ASSERT_TRUE(city.ok());
+  auto oracle = BuildOracle(city->graph, OracleKind::kMatrix);
+  ASSERT_TRUE(oracle.ok());
+  RoutePlanner planner(oracle->get());
+  std::vector<Order> orders(5);
+  double shortest = (*oracle)->Cost(3, 60);
+  ASSERT_GT(shortest, 0);
+  for (int i = 0; i < 5; ++i) {
+    orders[i] = {.id = i + 1, .pickup = 3, .dropoff = 60, .riders = 1,
+                 .release = 0, .deadline = 10 * shortest, .wait_limit = 100,
+                 .shortest_cost = shortest};
+  }
+  std::vector<const Order*> ptrs;
+  for (const Order& o : orders) ptrs.push_back(&o);
+  auto plan = planner.PlanBest(ptrs, 0.0, 5);
+  ASSERT_TRUE(plan.ok());
+  // One shared ride: cost equals the single direct trip.
+  EXPECT_NEAR(plan->total_cost, shortest, 1e-6);
+  for (double completion : plan->completion) {
+    EXPECT_NEAR(completion, shortest, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace watter

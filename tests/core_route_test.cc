@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/core/route.h"
+#include "src/geo/travel_time_oracle.h"
+#include "tests/test_util.h"
+
+namespace watter {
+namespace {
+
+using testutil::kA;
+using testutil::kC;
+using testutil::kD;
+using testutil::kF;
+
+Order MakeOrder(OrderId id, NodeId pickup, NodeId dropoff, int riders = 1) {
+  Order order;
+  order.id = id;
+  order.pickup = pickup;
+  order.dropoff = dropoff;
+  order.riders = riders;
+  return order;
+}
+
+TEST(RouteTest, TotalAndCompletionOffsets) {
+  Route route;
+  route.stops = {{kA, 1, true}, {kD, 2, true}, {kC, 1, false},
+                 {kF, 2, false}};
+  route.offsets = {0.0, 60.0, 240.0, 300.0};
+  EXPECT_DOUBLE_EQ(route.TotalCost(), 300.0);
+  EXPECT_DOUBLE_EQ(route.CompletionOffset(1), 240.0);
+  EXPECT_DOUBLE_EQ(route.CompletionOffset(2), 300.0);
+  EXPECT_EQ(route.CompletionOffset(99), kInfCost);
+}
+
+TEST(RouteTest, EmptyRouteCostsZero) {
+  Route route;
+  EXPECT_DOUBLE_EQ(route.TotalCost(), 0.0);
+}
+
+TEST(RouteTest, PrecedenceAcceptsValidInterleaving) {
+  Order o1 = MakeOrder(1, kA, kC);
+  Order o2 = MakeOrder(2, kD, kF);
+  Route route;
+  route.stops = {{kA, 1, true}, {kD, 2, true}, {kC, 1, false},
+                 {kF, 2, false}};
+  EXPECT_TRUE(route.SatisfiesPrecedenceAndCapacity({&o1, &o2}, 2));
+}
+
+TEST(RouteTest, PrecedenceRejectsDropBeforePickup) {
+  Order o1 = MakeOrder(1, kA, kC);
+  Route route;
+  route.stops = {{kC, 1, false}, {kA, 1, true}};
+  EXPECT_FALSE(route.SatisfiesPrecedenceAndCapacity({&o1}, 4));
+}
+
+TEST(RouteTest, PrecedenceRejectsMissingDropoff) {
+  Order o1 = MakeOrder(1, kA, kC);
+  Route route;
+  route.stops = {{kA, 1, true}};
+  EXPECT_FALSE(route.SatisfiesPrecedenceAndCapacity({&o1}, 4));
+}
+
+TEST(RouteTest, PrecedenceRejectsUnknownOrder) {
+  Order o1 = MakeOrder(1, kA, kC);
+  Route route;
+  route.stops = {{kA, 7, true}, {kC, 7, false}};
+  EXPECT_FALSE(route.SatisfiesPrecedenceAndCapacity({&o1}, 4));
+}
+
+TEST(RouteTest, CapacityEnforcedAtPeakLoad) {
+  Order o1 = MakeOrder(1, kA, kC, 2);
+  Order o2 = MakeOrder(2, kD, kF, 2);
+  Route both_onboard;
+  both_onboard.stops = {{kA, 1, true}, {kD, 2, true}, {kC, 1, false},
+                        {kF, 2, false}};
+  EXPECT_FALSE(both_onboard.SatisfiesPrecedenceAndCapacity({&o1, &o2}, 3));
+  EXPECT_TRUE(both_onboard.SatisfiesPrecedenceAndCapacity({&o1, &o2}, 4));
+  // Sequential service never has both on board.
+  Route sequential;
+  sequential.stops = {{kA, 1, true}, {kC, 1, false}, {kD, 2, true},
+                      {kF, 2, false}};
+  EXPECT_TRUE(sequential.SatisfiesPrecedenceAndCapacity({&o1, &o2}, 2));
+}
+
+TEST(RouteTest, RecomputeOffsetsUsesOracle) {
+  Graph g = testutil::MakeExample1Graph();
+  DijkstraOracle oracle(&g);
+  Route route;
+  route.stops = {{kD, 3, true}, {kA, 1, true}, {kC, 3, false},
+                 {kC, 1, false}};
+  double total = RecomputeOffsets(&route, &oracle);
+  // d->a = 60, a->c = 120, c->c = 0.
+  EXPECT_DOUBLE_EQ(total, 180.0);
+  EXPECT_DOUBLE_EQ(route.offsets[0], 0.0);
+  EXPECT_DOUBLE_EQ(route.offsets[1], 60.0);
+  EXPECT_DOUBLE_EQ(route.offsets[2], 180.0);
+  EXPECT_DOUBLE_EQ(route.offsets[3], 180.0);
+}
+
+TEST(RouteTest, ToStringMentionsStops) {
+  Route route;
+  route.stops = {{kA, 1, true}, {kC, 1, false}};
+  std::string rendered = route.ToString();
+  EXPECT_NE(rendered.find("p1"), std::string::npos);
+  EXPECT_NE(rendered.find("d1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/geo/astar.h"
+#include "src/geo/city_generator.h"
+#include "src/geo/dijkstra.h"
+
+namespace watter {
+namespace {
+
+TEST(AStarTest, MatchesDijkstraOnCities) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto city = GenerateCity({.width = 14, .height = 14, .jitter = 0.3,
+                              .seed = seed});
+    ASSERT_TRUE(city.ok());
+    AStar astar(&city->graph);
+    Dijkstra reference(&city->graph);
+    Rng rng(seed * 17);
+    for (int trial = 0; trial < 60; ++trial) {
+      NodeId s = city->RandomNode(&rng);
+      NodeId t = city->RandomNode(&rng);
+      reference.Run(s, t);
+      EXPECT_NEAR(astar.Query(s, t), reference.DistanceTo(t), 1e-9)
+          << s << "->" << t << " seed " << seed;
+    }
+  }
+}
+
+TEST(AStarTest, HeuristicFactorIsAdmissible) {
+  auto city = GenerateCity({.width = 12, .height = 12, .jitter = 0.2,
+                            .seed = 4});
+  ASSERT_TRUE(city.ok());
+  AStar astar(&city->graph);
+  EXPECT_GT(astar.heuristic_factor(), 0.0);
+  // Admissibility: factor * euclid never exceeds the true cost.
+  Dijkstra reference(&city->graph);
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeId s = city->RandomNode(&rng);
+    NodeId t = city->RandomNode(&rng);
+    reference.Run(s, t);
+    double bound = astar.heuristic_factor() *
+                   EuclideanDistance(city->graph.node_point(s),
+                                     city->graph.node_point(t));
+    EXPECT_LE(bound, reference.DistanceTo(t) + 1e-9);
+  }
+}
+
+TEST(AStarTest, SettlesFewerNodesThanDijkstra) {
+  auto city = GenerateCity({.width = 24, .height = 24, .jitter = 0.15,
+                            .seed = 6});
+  ASSERT_TRUE(city.ok());
+  AStar astar(&city->graph);
+  Dijkstra dijkstra(&city->graph);
+  Rng rng(7);
+  int64_t astar_total = 0, dijkstra_total = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    NodeId s = city->RandomNode(&rng);
+    NodeId t = city->RandomNode(&rng);
+    astar.Query(s, t);
+    dijkstra.Run(s, t);
+    astar_total += astar.settled_count();
+    dijkstra_total += dijkstra.settled_count();
+  }
+  EXPECT_LT(astar_total, dijkstra_total);
+}
+
+TEST(AStarTest, CoLocatedNodesDegradeGracefully) {
+  Graph g;
+  g.AddNode({0, 0});
+  g.AddNode({0, 0});  // Same coordinates.
+  g.AddNode({1, 0});
+  g.AddBidirectionalEdge(0, 1, 5.0);
+  g.AddBidirectionalEdge(1, 2, 3.0);
+  ASSERT_TRUE(g.Finalize().ok());
+  AStar astar(&g);
+  EXPECT_DOUBLE_EQ(astar.heuristic_factor(), 0.0);
+  EXPECT_DOUBLE_EQ(astar.Query(0, 2), 8.0);
+}
+
+TEST(AStarTest, UnreachableAndTrivialQueries) {
+  Graph g;
+  g.AddNode({0, 0});
+  g.AddNode({5, 5});
+  ASSERT_TRUE(g.Finalize().ok());
+  AStar astar(&g);
+  EXPECT_DOUBLE_EQ(astar.Query(0, 0), 0.0);
+  EXPECT_EQ(astar.Query(0, 1), kInfCost);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,119 @@
+// Heavier stress coverage of contraction hierarchies: bigger cities, more
+// topologies, witness-limit sensitivity, and exhaustive small-graph checks.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/geo/city_generator.h"
+#include "src/geo/contraction_hierarchy.h"
+#include "src/geo/dijkstra.h"
+
+namespace watter {
+namespace {
+
+TEST(ChStressTest, LargerCityExactness) {
+  auto city = GenerateCity({.width = 28, .height = 28, .jitter = 0.35,
+                            .center_slowdown = 2.0, .seed = 31});
+  ASSERT_TRUE(city.ok());
+  auto ch = ContractionHierarchy::Build(city->graph);
+  ASSERT_TRUE(ch.ok());
+  Dijkstra reference(&city->graph);
+  Rng rng(33);
+  for (int trial = 0; trial < 150; ++trial) {
+    NodeId s = city->RandomNode(&rng);
+    NodeId t = city->RandomNode(&rng);
+    reference.Run(s, t);
+    ASSERT_NEAR(ch->Query(s, t), reference.DistanceTo(t), 1e-9)
+        << s << "->" << t;
+  }
+}
+
+TEST(ChStressTest, TightWitnessLimitsStayCorrect) {
+  // Small witness budgets may add redundant shortcuts but must never break
+  // exactness.
+  auto city = GenerateCity({.width = 16, .height = 16, .jitter = 0.3,
+                            .seed = 35});
+  ASSERT_TRUE(city.ok());
+  ChOptions tight;
+  tight.witness_settle_limit = 4;
+  tight.witness_hop_limit = 2;
+  auto constrained = ContractionHierarchy::Build(city->graph, tight);
+  auto generous = ContractionHierarchy::Build(city->graph);
+  ASSERT_TRUE(constrained.ok());
+  ASSERT_TRUE(generous.ok());
+  // Weaker witness searches can only add shortcuts, not remove them.
+  EXPECT_GE(constrained->num_shortcuts(), generous->num_shortcuts());
+  Dijkstra reference(&city->graph);
+  Rng rng(36);
+  for (int trial = 0; trial < 80; ++trial) {
+    NodeId s = city->RandomNode(&rng);
+    NodeId t = city->RandomNode(&rng);
+    reference.Run(s, t);
+    EXPECT_NEAR(constrained->Query(s, t), reference.DistanceTo(t), 1e-9);
+  }
+}
+
+TEST(ChStressTest, ExhaustiveOnTinyGraphs) {
+  // Every pair on many tiny random digraphs: catches rank/arc-direction
+  // bugs that random sampling on large graphs can miss.
+  Rng rng(40);
+  for (int instance = 0; instance < 25; ++instance) {
+    const int n = static_cast<int>(rng.UniformInt(2, 9));
+    Graph g;
+    for (int i = 0; i < n; ++i) {
+      g.AddNode({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    }
+    int edges = static_cast<int>(rng.UniformInt(1, 3 * n));
+    for (int e = 0; e < edges; ++e) {
+      NodeId a = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+      NodeId b = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+      if (a != b) g.AddEdge(a, b, rng.Uniform(1.0, 9.0));
+    }
+    ASSERT_TRUE(g.Finalize().ok());
+    auto ch = ContractionHierarchy::Build(g);
+    ASSERT_TRUE(ch.ok());
+    Dijkstra reference(&g);
+    for (NodeId s = 0; s < n; ++s) {
+      reference.Run(s);
+      for (NodeId t = 0; t < n; ++t) {
+        double expected = reference.DistanceTo(t);
+        double got = ch->Query(s, t);
+        if (expected == kInfCost) {
+          ASSERT_EQ(got, kInfCost) << "inst " << instance << " " << s
+                                   << "->" << t;
+        } else {
+          ASSERT_NEAR(got, expected, 1e-9)
+              << "inst " << instance << " " << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChStressTest, AsymmetricWeightsHandled) {
+  // Directed ring with strongly asymmetric weights: forward cheap,
+  // backward expensive.
+  const int n = 30;
+  Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddNode({static_cast<double>(i), 0.0});
+  }
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(i, (i + 1) % n, 1.0);
+    g.AddEdge((i + 1) % n, i, 10.0);
+  }
+  ASSERT_TRUE(g.Finalize().ok());
+  auto ch = ContractionHierarchy::Build(g);
+  ASSERT_TRUE(ch.ok());
+  // Forward around the ring: distance j - i (mod n) at cost 1 per hop,
+  // unless going backward is cheaper at 10 per hop.
+  Dijkstra reference(&g);
+  for (NodeId s = 0; s < n; s += 5) {
+    reference.Run(s);
+    for (NodeId t = 0; t < n; ++t) {
+      EXPECT_NEAR(ch->Query(s, t), reference.DistanceTo(t), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace watter

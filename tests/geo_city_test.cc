@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/geo/city_generator.h"
+#include "src/geo/dijkstra.h"
+
+namespace watter {
+namespace {
+
+TEST(CityGeneratorTest, BasicShape) {
+  auto city = GenerateCity({.width = 6, .height = 4, .seed = 1});
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ(city->graph.num_nodes(), 24);
+  // Grid arcs: 2 * (horizontal + vertical) directed edges.
+  int expected_edges = 2 * ((6 - 1) * 4 + (4 - 1) * 6);
+  EXPECT_EQ(city->graph.num_edges(), expected_edges);
+  EXPECT_TRUE(city->graph.IsWeaklyConnected());
+  EXPECT_TRUE(city->graph.finalized());
+}
+
+TEST(CityGeneratorTest, NodeAtRowColMapping) {
+  auto city = GenerateCity({.width = 5, .height = 3, .seed = 1});
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ(city->NodeAt(0, 0), 0);
+  EXPECT_EQ(city->NodeAt(1, 0), 5);
+  EXPECT_EQ(city->NodeAt(2, 4), 14);
+  Point p = city->graph.node_point(city->NodeAt(1, 2));
+  EXPECT_DOUBLE_EQ(p.x, 2.0);
+  EXPECT_DOUBLE_EQ(p.y, 1.0);
+}
+
+TEST(CityGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateCity({.width = 8, .height = 8, .seed = 9});
+  auto b = GenerateCity({.width = 8, .height = 8, .seed = 9});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Dijkstra da(&a->graph), db(&b->graph);
+  da.Run(0);
+  db.Run(0);
+  for (NodeId v = 0; v < a->graph.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(da.DistanceTo(v), db.DistanceTo(v));
+  }
+}
+
+TEST(CityGeneratorTest, CenterIsSlowerThanPeriphery) {
+  auto city = GenerateCity({.width = 20, .height = 20, .jitter = 0.0,
+                            .center_slowdown = 2.0, .arterial_every = 0,
+                            .seed = 2});
+  ASSERT_TRUE(city.ok());
+  // Horizontal step at the center vs at the corner.
+  NodeId center = city->NodeAt(10, 10);
+  NodeId center_east = city->NodeAt(10, 11);
+  NodeId corner = city->NodeAt(0, 0);
+  NodeId corner_east = city->NodeAt(0, 1);
+  double center_cost = ShortestPathCost(city->graph, center, center_east);
+  double corner_cost = ShortestPathCost(city->graph, corner, corner_east);
+  EXPECT_GT(center_cost, corner_cost * 1.2);
+}
+
+TEST(CityGeneratorTest, ArterialsAreFaster) {
+  auto city = GenerateCity({.width = 17, .height = 17, .jitter = 0.0,
+                            .center_slowdown = 1.0, .arterial_every = 8,
+                            .arterial_factor = 0.5, .seed = 2});
+  ASSERT_TRUE(city.ok());
+  // Row 8 is arterial; row 4 is not. Columns 3-4 avoid arterial columns.
+  double arterial = ShortestPathCost(city->graph, city->NodeAt(8, 3),
+                                     city->NodeAt(8, 4));
+  double local = ShortestPathCost(city->graph, city->NodeAt(4, 3),
+                                  city->NodeAt(4, 4));
+  EXPECT_LT(arterial, local * 0.6);
+}
+
+TEST(CityGeneratorTest, RejectsDegenerateOptions) {
+  EXPECT_FALSE(GenerateCity({.width = 1, .height = 5}).ok());
+  EXPECT_FALSE(GenerateCity({.width = 5, .height = 5,
+                             .cell_seconds = 0.0}).ok());
+  EXPECT_FALSE(GenerateCity({.width = 5, .height = 5, .jitter = 1.0}).ok());
+}
+
+TEST(CityGeneratorTest, RandomNodeInRange) {
+  auto city = GenerateCity({.width = 6, .height = 6, .seed = 8});
+  ASSERT_TRUE(city.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    NodeId v = city->RandomNode(&rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, city->graph.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace watter

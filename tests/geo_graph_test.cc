@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "src/geo/graph.h"
+
+namespace watter {
+namespace {
+
+TEST(GraphTest, BuildAndTraverseCsr) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  NodeId c = g.AddNode({0, 1});
+  g.AddEdge(a, b, 1.5);
+  g.AddEdge(b, c, 2.5);
+  g.AddBidirectionalEdge(a, c, 4.0);
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 4);
+
+  auto out_a = g.OutArcs(a);
+  ASSERT_EQ(out_a.size(), 2u);
+  auto in_c = g.InArcs(c);
+  ASSERT_EQ(in_c.size(), 2u);
+  // b's only outgoing arc goes to c with weight 2.5.
+  auto out_b = g.OutArcs(b);
+  ASSERT_EQ(out_b.size(), 1u);
+  EXPECT_EQ(out_b[0].to, c);
+  EXPECT_DOUBLE_EQ(out_b[0].weight, 2.5);
+}
+
+TEST(GraphTest, FinalizeRejectsBadEndpoints) {
+  Graph g;
+  g.AddNode({0, 0});
+  g.AddEdge(0, 5, 1.0);
+  EXPECT_EQ(g.Finalize().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, FinalizeRejectsNegativeWeight) {
+  Graph g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  g.AddEdge(0, 1, -2.0);
+  EXPECT_EQ(g.Finalize().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, DoubleFinalizeFails) {
+  Graph g;
+  g.AddNode({0, 0});
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphTest, WeakConnectivity) {
+  Graph connected;
+  NodeId a = connected.AddNode({0, 0});
+  NodeId b = connected.AddNode({1, 0});
+  connected.AddEdge(a, b, 1.0);  // Directed suffices for weak connectivity.
+  ASSERT_TRUE(connected.Finalize().ok());
+  EXPECT_TRUE(connected.IsWeaklyConnected());
+
+  Graph disconnected;
+  disconnected.AddNode({0, 0});
+  disconnected.AddNode({5, 5});
+  ASSERT_TRUE(disconnected.Finalize().ok());
+  EXPECT_FALSE(disconnected.IsWeaklyConnected());
+}
+
+TEST(GraphTest, BoundingBox) {
+  Graph g;
+  g.AddNode({-1, 4});
+  g.AddNode({3, -2});
+  g.AddNode({0, 0});
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.MinCorner(), (Point{-1, -2}));
+  EXPECT_EQ(g.MaxCorner(), (Point{3, 4}));
+}
+
+TEST(PointTest, Distances) {
+  Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance(a, b), 7.0);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,157 @@
+// Parameterized sweep: the accounting invariants must hold for every
+// (dataset, strategy) combination and across workload knobs. This is the
+// broad safety net behind the figure benches.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/baseline/gas.h"
+#include "src/baseline/gdp.h"
+#include "src/baseline/nonsharing.h"
+#include "src/sim/platform.h"
+#include "src/strategy/threshold_provider.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+namespace {
+
+using ParamTuple = std::tuple<DatasetKind, std::string>;
+
+class DatasetStrategyTest : public testing::TestWithParam<ParamTuple> {};
+
+MetricsReport RunStrategy(const std::string& strategy, Scenario* scenario) {
+  if (strategy == "online") {
+    OnlineThresholdProvider provider;
+    return RunWatter(scenario, &provider);
+  }
+  if (strategy == "timeout") {
+    TimeoutThresholdProvider provider;
+    return RunWatter(scenario, &provider);
+  }
+  if (strategy == "fixed") {
+    FixedThresholdProvider provider(90.0);
+    return RunWatter(scenario, &provider);
+  }
+  if (strategy == "gdp") return RunGdp(scenario);
+  if (strategy == "gas") return RunGas(scenario);
+  return RunNonSharing(scenario);
+}
+
+TEST_P(DatasetStrategyTest, AccountingAndBoundsHold) {
+  auto [dataset, strategy] = GetParam();
+  WorkloadOptions options;
+  options.dataset = dataset;
+  options.num_orders = 350;
+  options.num_workers = 45;
+  options.city_width = 16;
+  options.city_height = 16;
+  options.duration = 2400.0;
+  options.seed = 9090 + static_cast<uint64_t>(dataset);
+  auto scenario = GenerateScenario(options);
+  ASSERT_TRUE(scenario.ok());
+  MetricsReport report = RunStrategy(strategy, &*scenario);
+
+  EXPECT_EQ(report.served + report.rejected, 350) << strategy;
+  EXPECT_NEAR(report.metrs_objective,
+              report.total_extra_time + report.total_metrs_penalty, 1e-6);
+  EXPECT_GE(report.unified_cost, report.worker_travel);
+  EXPECT_GE(report.avg_response, 0.0);
+  EXPECT_GE(report.avg_detour, 0.0);
+  EXPECT_GE(report.avg_group_size, report.served > 0 ? 1.0 : 0.0);
+  EXPECT_LE(report.avg_group_size, kMaxGroupSize);
+  EXPECT_GT(report.service_rate, 0.25) << strategy;  // Nothing collapses.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DatasetStrategyTest,
+    testing::Combine(testing::Values(DatasetKind::kNyc, DatasetKind::kCdc,
+                                     DatasetKind::kXia),
+                     testing::Values("online", "timeout", "fixed", "gdp",
+                                     "gas", "nonsharing")),
+    [](const testing::TestParamInfo<ParamTuple>& info) {
+      return std::string(DatasetName(std::get<0>(info.param))) + "_" +
+             std::get<1>(info.param);
+    });
+
+class RiderCountTest : public testing::TestWithParam<int> {};
+
+TEST_P(RiderCountTest, MultiRiderOrdersAreServedWithinCapacity) {
+  WorkloadOptions options;
+  options.dataset = DatasetKind::kCdc;
+  options.num_orders = 300;
+  options.num_workers = 50;
+  options.city_width = 14;
+  options.city_height = 14;
+  options.duration = 1800.0;
+  options.max_capacity = 5;
+  options.max_riders = GetParam();
+  options.seed = 777;
+  auto scenario = GenerateScenario(options);
+  ASSERT_TRUE(scenario.ok());
+  bool any_multi = false;
+  for (const Order& order : scenario->orders) {
+    EXPECT_GE(order.riders, 1);
+    EXPECT_LE(order.riders, GetParam());
+    any_multi |= order.riders > 1;
+  }
+  EXPECT_EQ(any_multi, GetParam() > 1);
+
+  OnlineThresholdProvider provider;
+  WatterPlatform platform(&*scenario, &provider, SimOptions{});
+  MetricsReport report = platform.Run();
+  EXPECT_EQ(report.served + report.rejected, 300);
+  EXPECT_GT(report.service_rate, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Riders, RiderCountTest, testing::Values(1, 2, 3));
+
+TEST(RiderValidationTest, RejectsRidersAboveCapacity) {
+  WorkloadOptions options;
+  options.max_capacity = 3;
+  options.max_riders = 4;
+  EXPECT_FALSE(GenerateScenario(options).ok());
+  options.max_riders = 0;
+  EXPECT_FALSE(GenerateScenario(options).ok());
+}
+
+class NonSharingTest : public testing::Test {};
+
+TEST_F(NonSharingTest, ServesAllWithAmpleFleet) {
+  WorkloadOptions options;
+  options.dataset = DatasetKind::kCdc;
+  options.num_orders = 200;
+  options.num_workers = 100;
+  options.city_width = 14;
+  options.city_height = 14;
+  options.duration = 3600.0;
+  options.seed = 31;
+  auto scenario = GenerateScenario(options);
+  ASSERT_TRUE(scenario.ok());
+  MetricsReport report = RunNonSharing(&*scenario);
+  EXPECT_GT(report.service_rate, 0.95);
+  EXPECT_DOUBLE_EQ(report.avg_detour, 0.0);
+}
+
+TEST_F(NonSharingTest, FifoQueueDrainsDeterministically) {
+  WorkloadOptions options;
+  options.dataset = DatasetKind::kXia;
+  options.num_orders = 300;
+  options.num_workers = 10;  // Starved: the queue matters.
+  options.city_width = 14;
+  options.city_height = 14;
+  options.duration = 1800.0;
+  options.seed = 32;
+  auto a = GenerateScenario(options);
+  auto b = GenerateScenario(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  MetricsReport ra = RunNonSharing(&*a);
+  MetricsReport rb = RunNonSharing(&*b);
+  EXPECT_EQ(ra.served, rb.served);
+  EXPECT_DOUBLE_EQ(ra.unified_cost, rb.unified_cost);
+  EXPECT_GT(ra.rejected, 0);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/pool/order_pool.h"
+#include "tests/test_util.h"
+
+namespace watter {
+namespace {
+
+constexpr double kMin = 60.0;
+
+PoolOptions PermissiveOptions() {
+  PoolOptions options;
+  options.include_singletons = true;
+  return options;
+}
+
+class OrderPoolTest : public testing::Test {
+ protected:
+  OrderPoolTest()
+      : graph_(testutil::MakeExample1Graph()),
+        oracle_(&graph_),
+        pool_(&oracle_, PermissiveOptions()),
+        paper_pool_(&oracle_, PoolOptions{}),
+        orders_(testutil::MakeExample1Orders()) {}
+
+  Graph graph_;
+  DijkstraOracle oracle_;
+  // `pool_` includes singleton groups (permissive mode) so the tests can
+  // compare shared groups against solo service directly; `paper_pool_` uses
+  // the paper semantics (shared groups only).
+  OrderPool pool_;
+  OrderPool paper_pool_;
+  std::vector<Order> orders_;
+};
+
+TEST_F(OrderPoolTest, SingletonBestGroupForLoneOrder) {
+  ASSERT_TRUE(pool_.Insert(orders_[0], orders_[0].release).ok());
+  const BestGroup* best = pool_.BestFor(orders_[0].id, orders_[0].release);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->members, (std::vector<OrderId>{orders_[0].id}));
+  EXPECT_DOUBLE_EQ(best->plan.total_cost, 2 * kMin);
+  EXPECT_DOUBLE_EQ(best->sum_detour, 0.0);  // Direct route: no detour.
+}
+
+TEST_F(OrderPoolTest, PaperSemanticsLoneOrderHasNoGroup) {
+  // With shared-only semantics a lone order has no group arrangement to
+  // rate, so Gb holds nothing for it (Algorithm 1 line 10: "if g exists").
+  ASSERT_TRUE(paper_pool_.Insert(orders_[0], orders_[0].release).ok());
+  EXPECT_EQ(paper_pool_.BestFor(orders_[0].id, orders_[0].release), nullptr);
+}
+
+TEST_F(OrderPoolTest, PaperSemanticsPairBecomesGroup) {
+  Order a{.id = 71, .pickup = testutil::kD, .dropoff = testutil::kF,
+          .riders = 1, .release = 0, .deadline = 30 * kMin,
+          .wait_limit = 5 * kMin, .shortest_cost = 2 * kMin};
+  Order b = a;
+  b.id = 72;
+  b.release = 5;
+  b.deadline = 5 + 30 * kMin;
+  ASSERT_TRUE(paper_pool_.Insert(a, 0).ok());
+  EXPECT_EQ(paper_pool_.BestFor(a.id, 0), nullptr);
+  ASSERT_TRUE(paper_pool_.Insert(b, 5).ok());
+  const BestGroup* best = paper_pool_.BestFor(a.id, 5);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->members, (std::vector<OrderId>{71, 72}));
+}
+
+Order IdenticalTrip(OrderId id, Time release, NodeId pickup, NodeId dropoff,
+                    double shortest, Time deadline_slack = 60 * kMin) {
+  return Order{.id = id, .pickup = pickup, .dropoff = dropoff, .riders = 1,
+               .release = release, .deadline = release + deadline_slack,
+               .wait_limit = 10 * kMin, .shortest_cost = shortest};
+}
+
+TEST_F(OrderPoolTest, PairedGroupBeatsSingletonWhenDetourFree) {
+  // Two identical d->f trips: the shared route d->e->f serves both with
+  // zero detour under Definition 5 (their completions equal the shortest
+  // cost). The pair's average response is lower than the earlier order's
+  // own response, so the pair strictly beats the singleton.
+  Order a = IdenticalTrip(21, 8, testutil::kD, testutil::kF, 2 * kMin);
+  Order b = IdenticalTrip(22, 12, testutil::kD, testutil::kF, 2 * kMin);
+  ASSERT_TRUE(pool_.Insert(a, a.release).ok());
+  ASSERT_TRUE(pool_.Insert(b, b.release).ok());
+  Time now = b.release;
+  const BestGroup* best = pool_.BestFor(a.id, now);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->members, (std::vector<OrderId>{21, 22}));
+  EXPECT_DOUBLE_EQ(best->sum_detour, 0.0);
+  EXPECT_DOUBLE_EQ(best->plan.total_cost, 2 * kMin);
+  // Average extra: responses (12-8) and (12-12) average to 2 seconds; the
+  // singleton would cost 4.
+  ExtraTimeWeights weights;
+  EXPECT_DOUBLE_EQ(best->AverageExtraTime(now, weights), 2.0);
+}
+
+TEST_F(OrderPoolTest, Definition5CountsPrePickupRidingAsDetour) {
+  // o2 (d->f) and o4 (e->f) share route d->e->f. o4 boards at offset 1 min
+  // and alights at 2 min, but Definition 5 measures T(L^(i)) from the
+  // route's first stop, so o4's "detour" is 2 min - 1 min = 1 min even
+  // though it rides the shortest path. This makes the singleton better for
+  // o2 at o4's release, which is exactly what the pool must conclude.
+  ASSERT_TRUE(pool_.Insert(orders_[1], orders_[1].release).ok());
+  ASSERT_TRUE(pool_.Insert(orders_[3], orders_[3].release).ok());
+  Time now = orders_[3].release;
+  ASSERT_TRUE(pool_.graph().HasEdge(orders_[1].id, orders_[3].id));
+  const BestGroup* best = pool_.BestFor(orders_[1].id, now);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->members, (std::vector<OrderId>{orders_[1].id}));
+}
+
+TEST_F(OrderPoolTest, AverageExtraTimeGrowsWithWaiting) {
+  ASSERT_TRUE(pool_.Insert(orders_[0], orders_[0].release).ok());
+  const BestGroup* best = pool_.BestFor(orders_[0].id, orders_[0].release);
+  ASSERT_NE(best, nullptr);
+  ExtraTimeWeights weights;
+  double at_release = best->AverageExtraTime(orders_[0].release, weights);
+  double later = best->AverageExtraTime(orders_[0].release + 30, weights);
+  EXPECT_DOUBLE_EQ(at_release, 0.0);
+  EXPECT_DOUBLE_EQ(later, 30.0);
+}
+
+TEST_F(OrderPoolTest, BestGroupUpdatesWhenBetterPartnerArrives) {
+  Order a = IdenticalTrip(31, 5, testutil::kA, testutil::kC, 2 * kMin);
+  ASSERT_TRUE(pool_.Insert(a, a.release).ok());
+  const BestGroup* before = pool_.BestFor(a.id, a.release);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->size(), 1);
+  // An identical trip arrives: the pair is detour-free and halves the
+  // average response, so it must displace the singleton as best group.
+  Order b = IdenticalTrip(32, 10, testutil::kA, testutil::kC, 2 * kMin);
+  ASSERT_TRUE(pool_.Insert(b, b.release).ok());
+  Time now = b.release;
+  const BestGroup* after = pool_.BestFor(a.id, now);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->members, (std::vector<OrderId>{31, 32}));
+  ExtraTimeWeights weights;
+  // Pair: avg response (5 + 0)/2 = 2.5 vs singleton response 5.
+  EXPECT_DOUBLE_EQ(after->AverageExtraTime(now, weights), 2.5);
+}
+
+TEST_F(OrderPoolTest, RemovalOfPartnerInvalidatesBestGroup) {
+  Order a = IdenticalTrip(41, 8, testutil::kD, testutil::kF, 2 * kMin);
+  Order b = IdenticalTrip(42, 12, testutil::kD, testutil::kF, 2 * kMin);
+  ASSERT_TRUE(pool_.Insert(a, a.release).ok());
+  ASSERT_TRUE(pool_.Insert(b, b.release).ok());
+  Time now = b.release;
+  const BestGroup* best = pool_.BestFor(a.id, now);
+  ASSERT_NE(best, nullptr);
+  ASSERT_EQ(best->size(), 2);
+  ASSERT_TRUE(pool_.Remove(b.id).ok());
+  const BestGroup* after = pool_.BestFor(a.id, now + 1);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->members, (std::vector<OrderId>{41}));
+}
+
+TEST_F(OrderPoolTest, ExpiredGroupFallsBackOrDisappears) {
+  Order o = orders_[0];
+  o.deadline = o.release + 3 * kMin;  // 1 min of slack over the 2-min ride.
+  ASSERT_TRUE(pool_.Insert(o, o.release).ok());
+  // Within slack: singleton group exists.
+  EXPECT_NE(pool_.BestFor(o.id, o.release + 30), nullptr);
+  // Past latest dispatch: no feasible group remains.
+  EXPECT_EQ(pool_.BestFor(o.id, o.release + 61), nullptr);
+}
+
+TEST_F(OrderPoolTest, CapacityLimitsGroupRiders) {
+  PoolOptions options;
+  options.capacity = 2;
+  options.include_singletons = true;
+  OrderPool small_pool(&oracle_, options);
+  Order o2 = orders_[1];
+  o2.riders = 2;
+  Order o4 = orders_[3];
+  o4.riders = 1;
+  ASSERT_TRUE(small_pool.Insert(o2, o2.release).ok());
+  ASSERT_TRUE(small_pool.Insert(o4, o4.release).ok());
+  // Combined riders (3) exceed capacity 2: no shared group possible.
+  const BestGroup* best = small_pool.BestFor(o2.id, o4.release);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->size(), 1);
+}
+
+TEST_F(OrderPoolTest, ExpireEdgesMarksAffectedOrdersDirty) {
+  // Partner b has a much tighter deadline: the pair edge expires while a's
+  // own singleton stays feasible, so the best group must fall back.
+  Order a = IdenticalTrip(51, 0, testutil::kD, testutil::kF, 2 * kMin,
+                          /*deadline_slack=*/10 * kMin);
+  Order b = IdenticalTrip(52, 10, testutil::kD, testutil::kF, 2 * kMin,
+                          /*deadline_slack=*/5 * kMin);
+  ASSERT_TRUE(pool_.Insert(a, 0).ok());
+  ASSERT_TRUE(pool_.Insert(b, 10).ok());
+  ASSERT_EQ(pool_.BestFor(a.id, 10)->size(), 2);
+  // Pair expiry: b.deadline - 2 min ride = 310 - 120 = 190 s.
+  double expiry = pool_.graph().Neighbors(a.id)[0].expiry;
+  EXPECT_DOUBLE_EQ(expiry, 190.0);
+  pool_.ExpireEdges(expiry + 1);
+  const BestGroup* after = pool_.BestFor(a.id, expiry + 1);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->members, (std::vector<OrderId>{51}));
+}
+
+TEST_F(OrderPoolTest, BestForUnknownOrderIsNull) {
+  EXPECT_EQ(pool_.BestFor(404, 0.0), nullptr);
+}
+
+TEST_F(OrderPoolTest, RecomputeCountsAreTracked) {
+  ASSERT_TRUE(pool_.Insert(orders_[0], orders_[0].release).ok());
+  pool_.BestFor(orders_[0].id, orders_[0].release);
+  EXPECT_GE(pool_.best_groups().recompute_count(), 1);
+  EXPECT_GE(pool_.best_groups().groups_evaluated(), 1);
+}
+
+}  // namespace
+}  // namespace watter

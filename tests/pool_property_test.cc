@@ -1,0 +1,107 @@
+// Randomized property tests of the order pool: a stream of insertions,
+// removals and expiries on a real city must preserve the structural
+// invariants of the temporal shareability graph and the best-group map.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/geo/city_generator.h"
+#include "src/pool/order_pool.h"
+
+namespace watter {
+namespace {
+
+class PoolPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoolPropertyTest, InvariantsHoldUnderRandomStreams) {
+  auto city = GenerateCity({.width = 14, .height = 14, .seed = GetParam()});
+  ASSERT_TRUE(city.ok());
+  auto oracle = BuildOracle(city->graph, OracleKind::kMatrix);
+  ASSERT_TRUE(oracle.ok());
+  OrderPool pool(oracle->get(), PoolOptions{});
+  Rng rng(GetParam() * 97 + 1);
+
+  Time now = 0.0;
+  OrderId next_id = 1;
+  std::vector<OrderId> alive;
+  for (int step = 0; step < 300; ++step) {
+    now += rng.Uniform(0, 20);
+    double action = rng.Uniform();
+    if (action < 0.6 || alive.empty()) {
+      // Insert a fresh order.
+      Order order;
+      order.id = next_id++;
+      order.pickup = city->RandomNode(&rng);
+      do {
+        order.dropoff = city->RandomNode(&rng);
+      } while (order.dropoff == order.pickup);
+      order.riders = static_cast<int>(rng.UniformInt(1, 2));
+      order.release = now;
+      order.shortest_cost = (*oracle)->Cost(order.pickup, order.dropoff);
+      order.deadline = now + rng.Uniform(1.2, 2.0) * order.shortest_cost;
+      order.wait_limit = 0.8 * order.shortest_cost;
+      ASSERT_TRUE(pool.Insert(order, now).ok());
+      alive.push_back(order.id);
+    } else if (action < 0.85) {
+      // Remove a random resident (simulates dispatch/rejection).
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alive.size()) - 1));
+      ASSERT_TRUE(pool.Remove(alive[pick]).ok());
+      alive.erase(alive.begin() + static_cast<int64_t>(pick));
+    } else {
+      pool.ExpireEdges(now);
+    }
+
+    // ---- Invariants ----
+    ASSERT_EQ(pool.size(), alive.size());
+    const ShareabilityGraph& graph = pool.graph();
+    int64_t directed_edges = 0;
+    for (OrderId id : alive) {
+      ASSERT_TRUE(pool.Contains(id));
+      for (const ShareEdge& edge : graph.Neighbors(id)) {
+        // Symmetry: every edge is mirrored.
+        EXPECT_TRUE(graph.HasEdge(edge.other, id))
+            << id << "-" << edge.other;
+        // Endpoints are resident.
+        EXPECT_TRUE(pool.Contains(edge.other));
+        // Edge data is sane.
+        EXPECT_GT(edge.pair_cost, 0.0);
+        ++directed_edges;
+      }
+    }
+    EXPECT_EQ(directed_edges % 2, 0);
+    EXPECT_EQ(directed_edges / 2, graph.edge_count());
+
+    // Best groups: verified feasible shared groups containing the owner.
+    if (step % 10 == 0) {
+      for (OrderId id : alive) {
+        const BestGroup* best = pool.BestFor(id, now);
+        if (best == nullptr) continue;
+        EXPECT_GE(best->size(), 2);
+        EXPECT_TRUE(std::binary_search(best->members.begin(),
+                                       best->members.end(), id));
+        // Members pairwise adjacent (clique property).
+        for (size_t i = 0; i < best->members.size(); ++i) {
+          for (size_t j = i + 1; j < best->members.size(); ++j) {
+            EXPECT_TRUE(graph.HasEdge(best->members[i], best->members[j]));
+          }
+        }
+        // Group not expired and its route is structurally valid.
+        EXPECT_GE(best->plan.latest_departure, now);
+        std::vector<const Order*> members;
+        for (OrderId member : best->members) {
+          members.push_back(pool.GetOrder(member));
+        }
+        EXPECT_TRUE(best->plan.route.SatisfiesPrecedenceAndCapacity(
+            members, pool.options().capacity));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolPropertyTest,
+                         testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rl/adam.h"
+#include "src/rl/mlp.h"
+
+namespace watter {
+namespace {
+
+TEST(MlpTest, ShapesAndParamCount) {
+  Mlp net({4, 8, 1}, 1);
+  EXPECT_EQ(net.input_size(), 4);
+  // 4*8 + 8 + 8*1 + 1 = 49.
+  EXPECT_EQ(net.param_count(), 49);
+}
+
+TEST(MlpTest, DeterministicInitialization) {
+  Mlp a({4, 8, 1}, 7);
+  Mlp b({4, 8, 1}, 7);
+  EXPECT_EQ(a.params(), b.params());
+  Mlp c({4, 8, 1}, 8);
+  EXPECT_NE(a.params(), c.params());
+}
+
+TEST(MlpTest, ForwardIsLinearWhenWeightsForceIt) {
+  // One hidden unit with identity-ish weights: V(x) = relu(2x) * 3 + 1.
+  Mlp net({1, 1, 1}, 1);
+  net.params() = {2.0f, 0.0f, 3.0f, 1.0f};  // W1, b1, W2, b2.
+  std::vector<float> x = {5.0f};
+  EXPECT_NEAR(net.Forward(x), 2 * 5 * 3 + 1, 1e-5);
+  x[0] = -4.0f;  // ReLU clips.
+  EXPECT_NEAR(net.Forward(x), 1.0, 1e-6);
+}
+
+TEST(MlpTest, GradientsMatchFiniteDifferences) {
+  Mlp net({3, 5, 1}, 3);
+  Rng rng(5);
+  std::vector<float> input(3);
+  for (auto& v : input) v = static_cast<float>(rng.Normal());
+  // Loss = 0.5 * V^2 so dLoss/dV = V.
+  double out = net.Forward(input);
+  std::vector<float> grads(net.param_count(), 0.0f);
+  net.ForwardBackward(input, out, &grads);
+  const double eps = 1e-3;
+  for (int p = 0; p < net.param_count(); p += 3) {  // Spot-check.
+    float original = net.params()[p];
+    net.params()[p] = original + static_cast<float>(eps);
+    double up = net.Forward(input);
+    net.params()[p] = original - static_cast<float>(eps);
+    double down = net.Forward(input);
+    net.params()[p] = original;
+    double numeric = (0.5 * up * up - 0.5 * down * down) / (2 * eps);
+    EXPECT_NEAR(grads[p], numeric, 5e-2 * std::max(1.0, std::abs(numeric)))
+        << "param " << p;
+  }
+}
+
+TEST(MlpTest, CopyParamsMakesNetworksIdentical) {
+  Mlp a({2, 4, 1}, 1);
+  Mlp b({2, 4, 1}, 2);
+  std::vector<float> x = {0.3f, -0.7f};
+  EXPECT_NE(a.Forward(x), b.Forward(x));
+  b.CopyParamsFrom(a);
+  EXPECT_EQ(a.Forward(x), b.Forward(x));
+}
+
+TEST(MlpTest, LearnsSimpleRegression) {
+  // Fit V(x) = 3*x0 - 2*x1 + 0.5 with Adam on random samples.
+  Mlp net({2, 16, 1}, 11);
+  AdamOptimizer adam(static_cast<size_t>(net.param_count()), 5e-3);
+  Rng rng(13);
+  std::vector<float> grads(net.param_count());
+  for (int step = 0; step < 3000; ++step) {
+    std::fill(grads.begin(), grads.end(), 0.0f);
+    double loss = 0.0;
+    for (int b = 0; b < 16; ++b) {
+      std::vector<float> x = {static_cast<float>(rng.Uniform(-1, 1)),
+                              static_cast<float>(rng.Uniform(-1, 1))};
+      double target = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+      double out = net.Forward(x);
+      double err = out - target;
+      net.ForwardBackward(x, 2.0 * err / 16.0, &grads);
+      loss += err * err;
+    }
+    adam.Step(&net.params(), grads);
+  }
+  // Evaluate.
+  double total_err = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> x = {static_cast<float>(rng.Uniform(-1, 1)),
+                            static_cast<float>(rng.Uniform(-1, 1))};
+    double target = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+    total_err += std::abs(net.Forward(x) - target);
+  }
+  EXPECT_LT(total_err / 200.0, 0.1);
+}
+
+TEST(AdamTest, StepCountAndDirection) {
+  AdamOptimizer adam(2, 0.1);
+  std::vector<float> params = {1.0f, -1.0f};
+  std::vector<float> grads = {0.5f, -0.5f};
+  adam.Step(&params, grads);
+  EXPECT_EQ(adam.step_count(), 1);
+  // Moves against the gradient.
+  EXPECT_LT(params[0], 1.0f);
+  EXPECT_GT(params[1], -1.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2.
+  AdamOptimizer adam(1, 0.05);
+  std::vector<float> x = {-5.0f};
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<float> grad = {2.0f * (x[0] - 3.0f)};
+    adam.Step(&x, grad);
+  }
+  EXPECT_NEAR(x[0], 3.0f, 1e-2);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/platform.h"
+#include "src/strategy/threshold_provider.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+namespace {
+
+WorkloadOptions SmallOptions() {
+  WorkloadOptions options;
+  options.dataset = DatasetKind::kCdc;
+  options.num_orders = 400;
+  options.num_workers = 40;
+  options.city_width = 16;
+  options.city_height = 16;
+  options.duration = 3600.0;
+  options.seed = 77;
+  // Short watching window inside a generous deadline: orders spend real
+  // time in the "window elapsed but still feasible" regime where the
+  // cancellation hazard applies.
+  options.eta = 0.3;
+  options.tau = 1.8;
+  return options;
+}
+
+TEST(CancellationTest, ZeroHazardChangesNothing) {
+  auto a = GenerateScenario(SmallOptions());
+  auto b = GenerateScenario(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  TimeoutThresholdProvider provider;
+  SimOptions off;
+  off.cancellation_hazard = 0.0;
+  SimOptions also_off;  // Defaults.
+  MetricsReport ra = RunWatter(&*a, &provider, off);
+  MetricsReport rb = RunWatter(&*b, &provider, also_off);
+  EXPECT_EQ(ra.served, rb.served);
+  EXPECT_DOUBLE_EQ(ra.total_extra_time, rb.total_extra_time);
+}
+
+TEST(CancellationTest, HazardReducesServiceRate) {
+  auto patient = GenerateScenario(SmallOptions());
+  auto impatient = GenerateScenario(SmallOptions());
+  ASSERT_TRUE(patient.ok());
+  ASSERT_TRUE(impatient.ok());
+  TimeoutThresholdProvider provider;  // Long waits: cancellations bite.
+  SimOptions calm;
+  SimOptions hasty;
+  hasty.cancellation_hazard = 0.05;  // ~22% cancel chance per 5 s check.
+  MetricsReport rp = RunWatter(&*patient, &provider, calm);
+  MetricsReport ri = RunWatter(&*impatient, &provider, hasty);
+  EXPECT_LT(ri.service_rate, rp.service_rate);
+  // All orders still accounted for.
+  EXPECT_EQ(ri.served + ri.rejected,
+            static_cast<int64_t>(impatient->orders.size()));
+}
+
+TEST(CancellationTest, DeterministicGivenSimSeed) {
+  auto a = GenerateScenario(SmallOptions());
+  auto b = GenerateScenario(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  TimeoutThresholdProvider provider;
+  SimOptions options;
+  options.cancellation_hazard = 0.02;
+  options.sim_seed = 5150;
+  MetricsReport ra = RunWatter(&*a, &provider, options);
+  MetricsReport rb = RunWatter(&*b, &provider, options);
+  EXPECT_EQ(ra.served, rb.served);
+  EXPECT_DOUBLE_EQ(ra.unified_cost, rb.unified_cost);
+}
+
+TEST(CancellationTest, CancellationsCountAsExpirationsForObservers) {
+  auto scenario = GenerateScenario(SmallOptions());
+  ASSERT_TRUE(scenario.ok());
+  TimeoutThresholdProvider provider;
+  SimOptions options;
+  options.cancellation_hazard = 0.05;
+  WatterPlatform platform(&*scenario, &provider, options);
+  int64_t expired_seen = 0;
+  platform.set_observer([&](const DecisionObservation& obs) {
+    if (obs.expired) ++expired_seen;
+  });
+  MetricsReport report = platform.Run();
+  EXPECT_EQ(expired_seen, report.rejected);
+}
+
+}  // namespace
+}  // namespace watter

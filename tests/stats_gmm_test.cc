@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stats/em_fitter.h"
+#include "src/stats/gmm.h"
+#include "src/stats/histogram.h"
+
+namespace watter {
+namespace {
+
+TEST(GmmTest, CreateValidatesComponents) {
+  EXPECT_FALSE(GaussianMixture::Create({}).ok());
+  EXPECT_FALSE(
+      GaussianMixture::Create({{.weight = -1, .mean = 0, .variance = 1}})
+          .ok());
+  EXPECT_FALSE(
+      GaussianMixture::Create({{.weight = 1, .mean = 0, .variance = 0}})
+          .ok());
+  auto ok = GaussianMixture::Create(
+      {{.weight = 2, .mean = 0, .variance = 1},
+       {.weight = 2, .mean = 5, .variance = 1}});
+  ASSERT_TRUE(ok.ok());
+  // Weights renormalized.
+  EXPECT_DOUBLE_EQ(ok->components()[0].weight, 0.5);
+}
+
+TEST(GmmTest, SingleComponentMatchesNormal) {
+  auto gmm =
+      GaussianMixture::Create({{.weight = 1, .mean = 2, .variance = 4}});
+  ASSERT_TRUE(gmm.ok());
+  EXPECT_NEAR(gmm->Cdf(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(gmm->Cdf(4.0), GaussianMixture::StandardNormalCdf(1.0), 1e-12);
+  EXPECT_NEAR(gmm->Pdf(2.0), 1.0 / std::sqrt(2 * M_PI * 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(gmm->Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(gmm->Variance(), 4.0);
+}
+
+TEST(GmmTest, CdfIsMonotoneAndNormalized) {
+  auto gmm = GaussianMixture::Create(
+      {{.weight = 0.3, .mean = -3, .variance = 1},
+       {.weight = 0.7, .mean = 4, .variance = 2}});
+  ASSERT_TRUE(gmm.ok());
+  double previous = 0.0;
+  for (double x = -10; x <= 12; x += 0.25) {
+    double cdf = gmm->Cdf(x);
+    EXPECT_GE(cdf, previous - 1e-12);
+    previous = cdf;
+  }
+  EXPECT_NEAR(gmm->Cdf(-50), 0.0, 1e-9);
+  EXPECT_NEAR(gmm->Cdf(60), 1.0, 1e-9);
+}
+
+TEST(GmmTest, MixtureMomentsFollowTotalVariance) {
+  auto gmm = GaussianMixture::Create(
+      {{.weight = 0.5, .mean = 0, .variance = 1},
+       {.weight = 0.5, .mean = 10, .variance = 1}});
+  ASSERT_TRUE(gmm.ok());
+  EXPECT_DOUBLE_EQ(gmm->Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(gmm->Variance(), 1.0 + 25.0);
+}
+
+TEST(EmFitterTest, RecoversTwoWellSeparatedClusters) {
+  Rng rng(7);
+  std::vector<double> data;
+  for (int i = 0; i < 3000; ++i) data.push_back(rng.Normal(10.0, 2.0));
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.Normal(60.0, 5.0));
+  auto fit = FitGmm(data, {.num_components = 2, .seed = 3});
+  ASSERT_TRUE(fit.ok());
+  auto comps = fit->components();
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.mean < b.mean; });
+  EXPECT_NEAR(comps[0].mean, 10.0, 0.5);
+  EXPECT_NEAR(comps[1].mean, 60.0, 1.5);
+  EXPECT_NEAR(comps[0].weight, 0.75, 0.05);
+  EXPECT_NEAR(std::sqrt(comps[0].variance), 2.0, 0.4);
+  EXPECT_NEAR(std::sqrt(comps[1].variance), 5.0, 1.0);
+}
+
+TEST(EmFitterTest, MoreComponentsNeverHurtLikelihoodMuch) {
+  Rng rng(11);
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.Normal(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.Normal(8.0, 1.0));
+  auto one = FitGmm(data, {.num_components = 1, .seed = 5});
+  auto two = FitGmm(data, {.num_components = 2, .seed = 5});
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_GT(AverageLogLikelihood(*two, data),
+            AverageLogLikelihood(*one, data) + 0.3);
+}
+
+TEST(EmFitterTest, HandlesDegenerateData) {
+  std::vector<double> constant(50, 3.0);
+  auto fit = FitGmm(constant, {.num_components = 3, .seed = 1});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->Mean(), 3.0, 1e-6);
+  // CDF still valid around the atom.
+  EXPECT_LT(fit->Cdf(2.9), 0.01);
+  EXPECT_GT(fit->Cdf(3.1), 0.99);
+}
+
+TEST(EmFitterTest, RejectsBadInputs) {
+  EXPECT_FALSE(FitGmm({}, {.num_components = 2}).ok());
+  EXPECT_FALSE(FitGmm({1.0, 2.0}, {.num_components = 0}).ok());
+}
+
+TEST(EmFitterTest, MoreComponentsThanSamplesDegradesGracefully) {
+  auto fit = FitGmm({1.0, 5.0}, {.num_components = 8, .seed = 2});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LE(fit->num_components(), 2);
+}
+
+TEST(HistogramTest, CountsMeanAndRange) {
+  Histogram hist(0, 10, 10);
+  for (int i = 0; i < 10; ++i) hist.Add(i + 0.5);
+  EXPECT_EQ(hist.count(), 10);
+  EXPECT_DOUBLE_EQ(hist.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.min_seen(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max_seen(), 9.5);
+  for (int64_t c : hist.bin_counts()) EXPECT_EQ(c, 1);
+}
+
+TEST(HistogramTest, OutOfRangeClampsIntoBoundaryBins) {
+  Histogram hist(0, 10, 5);
+  hist.Add(-100);
+  hist.Add(100);
+  EXPECT_EQ(hist.bin_counts().front(), 1);
+  EXPECT_EQ(hist.bin_counts().back(), 1);
+  EXPECT_EQ(hist.count(), 2);
+}
+
+TEST(HistogramTest, QuantilesApproximateUniform) {
+  Histogram hist(0, 1, 100);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) hist.Add(rng.Uniform());
+  EXPECT_NEAR(hist.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(hist.Quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(hist.Quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram hist(0, 1, 4);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/stats/em_fitter.h"
+#include "src/stats/gmm.h"
+#include "src/stats/ks_test.h"
+
+namespace watter {
+namespace {
+
+double StdNormalCdf(double x) {
+  return GaussianMixture::StandardNormalCdf(x);
+}
+
+TEST(KsTest, EmptySamplesArePerfectFit) {
+  KsResult result = KolmogorovSmirnovTest({}, StdNormalCdf);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(KsTest, MatchingDistributionHasSmallStatistic) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.Normal());
+  KsResult result = KolmogorovSmirnovTest(samples, StdNormalCdf);
+  EXPECT_LT(result.statistic, 0.03);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KsTest, MismatchedDistributionIsRejected) {
+  Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.Normal(2.0, 1.0));
+  KsResult result = KolmogorovSmirnovTest(samples, StdNormalCdf);
+  EXPECT_GT(result.statistic, 0.3);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, StatisticIsScaleOfWorstGap) {
+  // Point mass at 0 against U(0,1)-like CDF clipped: empirical jumps to 1
+  // at x=0 where the model is 0.5 -> D = 0.5.
+  auto cdf = [](double x) { return x < 0 ? 0.0 : (x > 1 ? 1.0 : 0.5 + x / 2); };
+  KsResult result = KolmogorovSmirnovTest({0.0, 0.0, 0.0, 0.0}, cdf);
+  EXPECT_NEAR(result.statistic, 0.5, 1e-12);
+}
+
+TEST(KsTest, PValueMonotoneInStatistic) {
+  double previous = 1.0;
+  for (double d : {0.01, 0.05, 0.1, 0.2, 0.4}) {
+    double p = KolmogorovPValue(d, 1000);
+    EXPECT_LE(p, previous + 1e-12) << d;
+    previous = p;
+  }
+  EXPECT_DOUBLE_EQ(KolmogorovPValue(0.0, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(KolmogorovPValue(0.5, 0), 1.0);
+}
+
+TEST(KsTest, FittedGmmBeatsSingleGaussianOnBimodalData) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i) {
+    samples.push_back(rng.Bernoulli(0.5) ? rng.Normal(0, 1)
+                                         : rng.Normal(8, 1));
+  }
+  auto one = FitGmm(samples, {.num_components = 1, .seed = 1});
+  auto two = FitGmm(samples, {.num_components = 2, .seed = 1});
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  KsResult ks_one = KolmogorovSmirnovTest(
+      samples, [&](double x) { return one->Cdf(x); });
+  KsResult ks_two = KolmogorovSmirnovTest(
+      samples, [&](double x) { return two->Cdf(x); });
+  EXPECT_LT(ks_two.statistic, ks_one.statistic * 0.5);
+  EXPECT_LT(ks_two.statistic, 0.05);
+}
+
+}  // namespace
+}  // namespace watter

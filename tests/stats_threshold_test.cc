@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/gmm.h"
+#include "src/stats/threshold_optimizer.h"
+
+namespace watter {
+namespace {
+
+// For a Uniform(0, 1) CDF and penalty p >= 1:
+//   G(theta) = (p - theta) * theta  on [0, 1], maximized at theta = p/2
+//   when p/2 <= 1, else at theta = 1.
+double UniformCdf(double x) {
+  if (x < 0) return 0;
+  if (x > 1) return 1;
+  return x;
+}
+
+TEST(ThresholdOptimizerTest, ClosedFormUniformCase) {
+  // p = 1: argmax (1 - t) * t = 0.5.
+  EXPECT_NEAR(OptimalThreshold(1.0, UniformCdf), 0.5, 1e-6);
+  // p = 0.8: argmax (0.8 - t) * t = 0.4.
+  EXPECT_NEAR(OptimalThreshold(0.8, UniformCdf), 0.4, 1e-6);
+  // p = 4: on [0,1] G = (4 - t) t rises until t=1; beyond 1 G = (4 - t)
+  // decreases. Max at t = 1.
+  EXPECT_NEAR(OptimalThreshold(4.0, UniformCdf), 1.0, 1e-6);
+}
+
+TEST(ThresholdOptimizerTest, ZeroOrNegativePenaltyGivesZero) {
+  EXPECT_DOUBLE_EQ(OptimalThreshold(0.0, UniformCdf), 0.0);
+  EXPECT_DOUBLE_EQ(OptimalThreshold(-5.0, UniformCdf), 0.0);
+}
+
+TEST(ThresholdOptimizerTest, ReducedObjectiveValue) {
+  EXPECT_DOUBLE_EQ(ReducedObjective(1.0, 0.5, UniformCdf), 0.25);
+}
+
+TEST(ThresholdOptimizerTest, GradientAgreesWithGoldenSection) {
+  auto gmm = GaussianMixture::Create(
+      {{.weight = 0.6, .mean = 120, .variance = 900},
+       {.weight = 0.4, .mean = 420, .variance = 3600}});
+  ASSERT_TRUE(gmm.ok());
+  CdfFn cdf = [&gmm](double x) { return gmm->Cdf(x); };
+  for (double penalty : {200.0, 400.0, 800.0, 1500.0}) {
+    double golden = OptimalThreshold(penalty, cdf);
+    double gradient = OptimalThresholdGradient(penalty, cdf);
+    // Both must reach (nearly) the same objective value.
+    EXPECT_NEAR(ReducedObjective(penalty, golden, cdf),
+                ReducedObjective(penalty, gradient, cdf),
+                1e-4 * ReducedObjective(penalty, golden, cdf) + 1e-9)
+        << "penalty=" << penalty;
+  }
+}
+
+TEST(ThresholdOptimizerTest, OptimumDominatesGridScan) {
+  auto gmm = GaussianMixture::Create(
+      {{.weight = 1.0, .mean = 300, .variance = 10000}});
+  ASSERT_TRUE(gmm.ok());
+  CdfFn cdf = [&gmm](double x) { return gmm->Cdf(x); };
+  double penalty = 600.0;
+  double theta = OptimalThreshold(penalty, cdf);
+  double best_grid = 0.0;
+  for (double t = 0; t <= penalty; t += penalty / 2000.0) {
+    best_grid = std::max(best_grid, ReducedObjective(penalty, t, cdf));
+  }
+  EXPECT_GE(ReducedObjective(penalty, theta, cdf), best_grid - 1e-6);
+}
+
+TEST(ThresholdOptimizerTest, LargerPenaltyNeverLowersThreshold) {
+  // Intuition check from the paper: more slack (penalty) permits waiting
+  // for better groups, i.e. theta* is non-decreasing in p.
+  auto gmm = GaussianMixture::Create(
+      {{.weight = 0.5, .mean = 100, .variance = 2500},
+       {.weight = 0.5, .mean = 500, .variance = 10000}});
+  ASSERT_TRUE(gmm.ok());
+  CdfFn cdf = [&gmm](double x) { return gmm->Cdf(x); };
+  double previous = 0.0;
+  for (double penalty = 50; penalty <= 2000; penalty += 50) {
+    double theta = OptimalThreshold(penalty, cdf);
+    EXPECT_GE(theta, previous - 1e-6) << "penalty=" << penalty;
+    previous = theta;
+  }
+}
+
+TEST(ThresholdTableTest, CachesPerPenaltyBucket) {
+  auto gmm = GaussianMixture::Create(
+      {{.weight = 1.0, .mean = 200, .variance = 400}});
+  ASSERT_TRUE(gmm.ok());
+  ThresholdTable table(std::move(gmm).value(), /*penalty_resolution=*/10.0);
+  double a = table.ThresholdFor(500.0);
+  double b = table.ThresholdFor(503.0);  // Same bucket.
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_EQ(table.cache_size(), 1u);
+  double c = table.ThresholdFor(600.0);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.cache_size(), 2u);
+  EXPECT_DOUBLE_EQ(table.ThresholdFor(0.0), 0.0);
+}
+
+TEST(ThresholdTableTest, MatchesDirectOptimization) {
+  auto gmm = GaussianMixture::Create(
+      {{.weight = 1.0, .mean = 150, .variance = 900}});
+  ASSERT_TRUE(gmm.ok());
+  GaussianMixture mixture = std::move(gmm).value();
+  ThresholdTable table(mixture, 1.0);
+  CdfFn cdf = [&mixture](double x) { return mixture.Cdf(x); };
+  for (double penalty : {100.0, 250.0, 777.0}) {
+    EXPECT_NEAR(table.ThresholdFor(penalty),
+                OptimalThreshold(penalty, cdf), 1.0)
+        << penalty;
+  }
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,0 +1,116 @@
+// End-to-end test of the Section V pipeline: bootstrap -> GMM fit ->
+// theta* optimization -> threshold strategy. The learned thresholds must
+// produce a coherent strategy (between online and timeout in responsiveness)
+// and the fitted mixture must actually describe the bootstrap data.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/platform.h"
+#include "src/stats/em_fitter.h"
+#include "src/stats/ks_test.h"
+#include "src/strategy/threshold_provider.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+namespace {
+
+WorkloadOptions PipelineOptions(uint64_t seed) {
+  WorkloadOptions options;
+  options.dataset = DatasetKind::kCdc;
+  options.num_orders = 800;
+  options.num_workers = 80;
+  options.city_width = 18;
+  options.city_height = 18;
+  options.duration = 3600.0;
+  options.city_seed = 4040;
+  options.seed = seed;
+  return options;
+}
+
+class GmmPipelineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Bootstrap day under the timeout strategy.
+    auto bootstrap = GenerateScenario(PipelineOptions(1));
+    ASSERT_TRUE(bootstrap.ok());
+    TimeoutThresholdProvider timeout;
+    WatterPlatform platform(&*bootstrap, &timeout, SimOptions{});
+    timeout_report_ = new MetricsReport(platform.Run());
+    extras_ = new std::vector<double>(
+        platform.metrics().served_extra_times());
+    auto fit = FitGmm(*extras_, {.num_components = 3, .seed = 9});
+    ASSERT_TRUE(fit.ok());
+    mixture_ = new GaussianMixture(std::move(fit).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete timeout_report_;
+    delete extras_;
+    delete mixture_;
+  }
+
+  static MetricsReport* timeout_report_;
+  static std::vector<double>* extras_;
+  static GaussianMixture* mixture_;
+};
+
+MetricsReport* GmmPipelineTest::timeout_report_ = nullptr;
+std::vector<double>* GmmPipelineTest::extras_ = nullptr;
+GaussianMixture* GmmPipelineTest::mixture_ = nullptr;
+
+TEST_F(GmmPipelineTest, BootstrapProducesUsableSample) {
+  ASSERT_GT(extras_->size(), 200u);
+  EXPECT_GT(timeout_report_->service_rate, 0.5);
+}
+
+TEST_F(GmmPipelineTest, MixtureDescribesBootstrapData) {
+  KsResult ks = KolmogorovSmirnovTest(
+      *extras_, [&](double x) { return mixture_->Cdf(x); });
+  // The mixture should track the empirical distribution closely — KS
+  // statistic well under a uniform-vs-anything mismatch.
+  EXPECT_LT(ks.statistic, 0.08) << "p=" << ks.p_value;
+  EXPECT_GT(mixture_->Mean(), 0.0);
+}
+
+TEST_F(GmmPipelineTest, ThetaStarIsInteriorForTypicalPenalties) {
+  ThresholdTable table(*mixture_);
+  // For penalties spanning the bootstrap extras, theta* should be neither 0
+  // nor the penalty itself (the optimization trades off both extremes).
+  int interior = 0, total = 0;
+  for (double penalty = 200; penalty <= 1200; penalty += 100) {
+    double theta = table.ThresholdFor(penalty);
+    ++total;
+    if (theta > 1.0 && theta < penalty - 1.0) ++interior;
+  }
+  EXPECT_GE(interior, total / 2);
+}
+
+TEST_F(GmmPipelineTest, GmmStrategySitsBetweenOnlineAndTimeout) {
+  auto online_day = GenerateScenario(PipelineOptions(2));
+  auto gmm_day = GenerateScenario(PipelineOptions(2));
+  ASSERT_TRUE(online_day.ok());
+  ASSERT_TRUE(gmm_day.ok());
+  OnlineThresholdProvider online;
+  MetricsReport online_report = RunWatter(&*online_day, &online);
+  GmmThresholdProvider gmm(*mixture_);
+  MetricsReport gmm_report = RunWatter(&*gmm_day, &gmm);
+  // The threshold strategy waits longer than always-dispatch but far less
+  // than always-hold (same-scenario timeout would, like the bootstrap day,
+  // roughly double the online response).
+  EXPECT_GE(gmm_report.avg_response, online_report.avg_response - 1.0);
+  EXPECT_LT(gmm_report.avg_response, online_report.avg_response * 2.5);
+  // And it must remain a functioning platform.
+  EXPECT_GT(gmm_report.service_rate, 0.5);
+}
+
+TEST_F(GmmPipelineTest, GmmStrategyImprovesOnTimeout) {
+  auto gmm_day = GenerateScenario(PipelineOptions(1));  // Same day.
+  ASSERT_TRUE(gmm_day.ok());
+  GmmThresholdProvider gmm(*mixture_);
+  MetricsReport gmm_report = RunWatter(&*gmm_day, &gmm);
+  EXPECT_LT(gmm_report.metrs_objective, timeout_report_->metrs_objective);
+}
+
+}  // namespace
+}  // namespace watter
