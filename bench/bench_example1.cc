@@ -8,6 +8,7 @@
 //   optimal pooling     5 minutes
 #include <cstdio>
 
+#include "src/common/status.h"
 #include "src/common/table.h"
 #include "src/core/route_planner.h"
 #include "src/geo/dijkstra.h"
@@ -33,8 +34,7 @@ Graph MakeFigure1Graph() {
   g.AddBidirectionalEdge(kE, kF, kMin);
   g.AddBidirectionalEdge(kC, kF, kMin);
   g.AddBidirectionalEdge(kB, kE, kMin);
-  auto status = g.Finalize();
-  if (!status.ok()) std::abort();
+  WATTER_CHECK_OK(g.Finalize());
   return g;
 }
 

@@ -6,6 +6,7 @@
 // machinery in your own dispatch loop.
 #include <cstdio>
 
+#include "src/common/status.h"
 #include "src/common/table.h"
 #include "src/core/route_planner.h"
 #include "src/geo/dijkstra.h"
@@ -33,7 +34,7 @@ Graph MakeFigure1Graph() {
   g.AddBidirectionalEdge(kE, kF, kMin);
   g.AddBidirectionalEdge(kC, kF, kMin);
   g.AddBidirectionalEdge(kB, kE, kMin);
-  if (!g.Finalize().ok()) std::abort();
+  WATTER_CHECK_OK(g.Finalize());
   return g;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/core/route_planner.h"
 #include "src/geo/grid_index.h"
@@ -72,7 +73,9 @@ class GasSimulation {
 
   void RemoveWaiting(OrderId id) {
     waiting_.erase(id);
-    (void)waiting_index_.Remove(id);
+    // waiting_ and waiting_index_ are inserted into together, so the index
+    // must still hold the id.
+    WATTER_CHECK_OK(waiting_index_.Remove(id));
   }
 
   void RunBatch(Time now) {

@@ -7,6 +7,8 @@
 #ifndef WATTER_COMMON_STATUS_H_
 #define WATTER_COMMON_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -95,6 +97,20 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
   do {                                               \
     ::watter::Status _watter_status = (expr);        \
     if (!_watter_status.ok()) return _watter_status; \
+  } while (false)
+
+/// Aborts if `expr` is not OK. For call sites where failure means a broken
+/// invariant (not a recoverable condition) and the status would otherwise be
+/// silently discarded.
+#define WATTER_CHECK_OK(expr)                                           \
+  do {                                                                  \
+    ::watter::Status _watter_status = (expr);                           \
+    if (!_watter_status.ok()) {                                         \
+      ::std::fprintf(stderr, "WATTER_CHECK_OK failed at %s:%d: %s\n",   \
+                     __FILE__, __LINE__,                                \
+                     _watter_status.ToString().c_str());                \
+      ::std::abort();                                                   \
+    }                                                                   \
   } while (false)
 
 #endif  // WATTER_COMMON_STATUS_H_

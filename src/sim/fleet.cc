@@ -1,5 +1,7 @@
 #include "src/sim/fleet.h"
 
+#include "src/common/status.h"
+
 namespace watter {
 
 Fleet::Fleet(std::vector<Worker> workers, const Graph* graph, int grid_cells)
@@ -56,8 +58,9 @@ void Fleet::Dispatch(WorkerId id, Time until, NodeId final_node) {
   worker.busy = true;
   worker.available_at = until;
   worker.location = final_node;
-  // The worker leaves the idle index while driving.
-  (void)idle_index_.Remove(id);
+  // The worker leaves the idle index while driving; Dispatch is only called
+  // for workers FindClosestIdle returned, so it must be present.
+  WATTER_CHECK_OK(idle_index_.Remove(id));
   busy_.push({until, id});
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/status.h"
 #include "src/common/stopwatch.h"
 
 namespace watter {
@@ -56,15 +57,17 @@ void WatterPlatform::InsertArrival(const Order& order, Time now) {
 }
 
 void WatterPlatform::RemoveFromIndexes(const Order& order) {
-  (void)demand_pickup_index_.Remove(order.id);
-  (void)demand_dropoff_index_.Remove(order.id);
+  // Every pooled order was indexed by InsertArrival, so absence here would
+  // mean the pool and the demand indexes have diverged.
+  WATTER_CHECK_OK(demand_pickup_index_.Remove(order.id));
+  WATTER_CHECK_OK(demand_dropoff_index_.Remove(order.id));
 }
 
 void WatterPlatform::RejectOrder(const Order& order, Time now) {
   Observe(order, now, /*action=*/0, /*expired=*/true, 0.0);
   metrics_.RecordRejected(order);
   RemoveFromIndexes(order);
-  (void)pool_.Remove(order.id);
+  WATTER_CHECK_OK(pool_.Remove(order.id));
 }
 
 bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
@@ -100,7 +103,7 @@ bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
                   final_node);
   for (const Order* member : members) {
     RemoveFromIndexes(*member);
-    (void)pool_.Remove(member->id);
+    WATTER_CHECK_OK(pool_.Remove(member->id));
   }
   return true;
 }

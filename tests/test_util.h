@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/types.h"
 #include "src/geo/graph.h"
 #include "src/geo/travel_time_oracle.h"
@@ -34,8 +35,7 @@ inline Graph MakeExample1Graph(double minute = 60.0) {
   g.AddBidirectionalEdge(kE, kF, minute);
   g.AddBidirectionalEdge(kC, kF, minute);
   g.AddBidirectionalEdge(kB, kE, minute);
-  auto status = g.Finalize();
-  (void)status;
+  WATTER_CHECK_OK(g.Finalize());
   return g;
 }
 
