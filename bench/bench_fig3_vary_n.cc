@@ -13,9 +13,11 @@ int main(int argc, char** argv) {
   using namespace watter;
   using namespace watter::bench;
   bool quick = QuickMode(argc, argv);
+  int threads = BenchThreads(argc, argv);
 
   for (DatasetKind dataset : BenchDatasets(quick)) {
     WorkloadOptions base = BaseWorkload(dataset);
+    base.num_threads = threads;
     std::unique_ptr<ExpectModel> model;
     if (!quick) {
       auto trained = TrainExpect(base);

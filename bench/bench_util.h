@@ -40,6 +40,19 @@ inline bool QuickMode(int argc, char** argv) {
   return std::getenv("WATTER_BENCH_QUICK") != nullptr;
 }
 
+/// Threads the simulated platforms run on: `--threads T` or
+/// WATTER_BENCH_THREADS (0 = all hardware threads; default 1 = serial).
+/// Metrics are thread-count-independent, so sweeps stay comparable.
+inline int BenchThreads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  const char* env = std::getenv("WATTER_BENCH_THREADS");
+  return env != nullptr ? std::atoi(env) : 1;
+}
+
 /// Baseline workload for a dataset at the reproduction scale. Defaults
 /// mirror Table III's italicized values: n = base, m = 5k-scaled, tau = 1.6,
 /// Kw = 4.

@@ -13,6 +13,7 @@
 #ifndef WATTER_CORE_ROUTE_PLANNER_H_
 #define WATTER_CORE_ROUTE_PLANNER_H_
 
+#include <atomic>
 #include <vector>
 
 #include "src/common/result.h"
@@ -40,6 +41,10 @@ struct GroupPlan {
 };
 
 /// Plans minimum-cost feasible routes for small order groups.
+///
+/// Thread safety: PlanBest/PairShareable keep all working state on the
+/// stack, so concurrent calls are safe as long as the bound oracle is (all
+/// oracles are; see travel_time_oracle.h).
 class RoutePlanner {
  public:
   /// Binds to a travel-time oracle (not owned).
@@ -58,11 +63,13 @@ class RoutePlanner {
                      int capacity);
 
   /// Number of PlanBest calls (diagnostics for the benches).
-  int64_t plan_count() const { return plan_count_; }
+  int64_t plan_count() const {
+    return plan_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   TravelTimeOracle* oracle_;
-  int64_t plan_count_ = 0;
+  std::atomic<int64_t> plan_count_{0};
 };
 
 }  // namespace watter

@@ -5,10 +5,13 @@
 namespace watter {
 
 double ChOracle::Cost(NodeId from, NodeId to) {
-  ++query_count_;
+  CountQuery();
   if (from == to) return 0.0;
   uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
                  static_cast<uint32_t>(to);
+  // The lock also covers ch_->Query: the hierarchy reuses mutable scratch
+  // buffers across queries, so queries must not overlap.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   double cost = ch_->Query(from, to);
@@ -45,7 +48,11 @@ const std::vector<double>& DijkstraOracle::RowFor(NodeId source) {
 }
 
 double DijkstraOracle::Cost(NodeId from, NodeId to) {
-  ++query_count_;
+  CountQuery();
+  // One lock around lookup-or-compute: RowFor mutates the row cache and the
+  // LRU list, and the returned row reference must not be invalidated by a
+  // concurrent eviction while we read it.
+  std::lock_guard<std::mutex> lock(mu_);
   return RowFor(from)[to];
 }
 

@@ -8,9 +8,11 @@
 #ifndef WATTER_GEO_TRAVEL_TIME_ORACLE_H_
 #define WATTER_GEO_TRAVEL_TIME_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,19 +23,37 @@
 namespace watter {
 
 /// Abstract shortest-travel-time provider.
+///
+/// Thread safety: Cost() may be called concurrently from the platform's
+/// parallel check/maintenance loops. MatrixOracle is wait-free (const table
+/// reads); the caching oracles serialize behind an internal mutex.
 class TravelTimeOracle {
  public:
   virtual ~TravelTimeOracle() = default;
 
   /// Shortest travel time (seconds) from `from` to `to`; kInfCost if
-  /// unreachable. Implementations may cache internally.
+  /// unreachable. Implementations may cache internally. Safe to call from
+  /// multiple threads.
   virtual double Cost(NodeId from, NodeId to) = 0;
 
   /// Number of queries answered (diagnostics).
-  int64_t query_count() const { return query_count_; }
+  int64_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  int64_t query_count_ = 0;
+  // Deliberately a non-atomic read-modify-write (racy increments may be
+  // lost): Cost() is the hottest call in the tree and a lock-prefixed
+  // fetch_add here costs several percent end-to-end. The counter is purely
+  // diagnostic; the relaxed atomic accesses keep it TSan-clean and exact
+  // whenever queries are serial.
+  void CountQuery() {
+    query_count_.store(query_count_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> query_count_{0};
 };
 
 /// Oracle backed by a dense all-pairs matrix: O(1) per query.
@@ -43,7 +63,7 @@ class MatrixOracle : public TravelTimeOracle {
       : matrix_(std::move(matrix)) {}
 
   double Cost(NodeId from, NodeId to) override {
-    ++query_count_;
+    CountQuery();
     return matrix_->Cost(from, to);
   }
 
@@ -60,11 +80,15 @@ class ChOracle : public TravelTimeOracle {
 
   double Cost(NodeId from, NodeId to) override;
 
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
 
  private:
   std::shared_ptr<const ContractionHierarchy> ch_;
   size_t cache_capacity_;
+  mutable std::mutex mu_;  // Guards cache_.
   std::unordered_map<uint64_t, double> cache_;
 };
 
@@ -83,6 +107,7 @@ class DijkstraOracle : public TravelTimeOracle {
 
   const Graph* graph_;
   size_t max_cached_sources_;
+  std::mutex mu_;  // Guards rows_ and the LRU bookkeeping.
   std::unordered_map<NodeId, std::vector<double>> rows_;
   std::list<NodeId> lru_;  // Front = most recent.
   std::unordered_map<NodeId, std::list<NodeId>::iterator> lru_pos_;

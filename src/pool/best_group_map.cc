@@ -3,10 +3,19 @@
 #include <algorithm>
 
 namespace watter {
+namespace {
+
+// Minimum number of stale entries before RefreshMany fans out; one
+// best-group search (clique enumeration + route planning) is the unit of
+// work, so even small batches amortize the pool wake-up.
+constexpr size_t kParallelGrain = 4;
+
+}  // namespace
 
 void BestGroupMap::OnOrderRemoved(OrderId member) {
   best_.erase(member);
   dirty_.erase(member);
+  none_.erase(member);
   for (auto& [id, group] : best_) {
     if (std::binary_search(group.members.begin(), group.members.end(),
                            member)) {
@@ -17,6 +26,7 @@ void BestGroupMap::OnOrderRemoved(OrderId member) {
 
 bool BestGroupMap::NeedsRefresh(OrderId id, Time now) const {
   if (dirty_.count(id) > 0) return true;
+  if (none_.count(id) > 0) return false;  // Known groupless until dirty.
   auto it = best_.find(id);
   if (it == best_.end()) return true;
   if (it->second.plan.latest_departure < now) return true;  // Group expired.
@@ -32,19 +42,17 @@ const BestGroup* BestGroupMap::BestFor(OrderId id, Time now) {
   return &it->second;
 }
 
-void BestGroupMap::Recompute(OrderId id, Time now) {
-  ++recompute_count_;
-  dirty_.erase(id);
-  best_.erase(id);
+BestGroupMap::SearchResult BestGroupMap::ComputeBest(OrderId id,
+                                                     Time now) const {
+  SearchResult result;
   const Order* anchor = graph_->GetOrder(id);
-  if (anchor == nullptr) return;
+  if (anchor == nullptr) return result;
 
-  BestGroup best;
-  bool have_best = false;
+  std::optional<BestGroup>& best = result.best;
   double best_avg = kInfCost;
 
   auto consider = [&](const std::vector<OrderId>& members) {
-    ++groups_evaluated_;
+    ++result.groups_evaluated;
     std::vector<const Order*> orders;
     orders.reserve(members.size());
     int riders = 0;
@@ -67,17 +75,66 @@ void BestGroupMap::Recompute(OrderId id, Time now) {
     }
     group.plan = std::move(plan).value();
     double avg = group.AverageExtraTime(now, weights_);
-    if (!have_best || avg < best_avg) {
+    if (!best.has_value() || avg < best_avg) {
       best = std::move(group);
       best_avg = avg;
-      have_best = true;
     }
   };
 
   if (include_singletons_) consider({id});
-  EnumerateCliquesContaining(*graph_, id, clique_options_, consider);
+  int visited =
+      EnumerateCliquesContaining(*graph_, id, clique_options_, consider);
+  result.truncated = visited >= clique_options_.max_visits;
+  return result;
+}
 
-  if (have_best) best_.emplace(id, std::move(best));
+void BestGroupMap::Commit(OrderId id, SearchResult result) {
+  ++recompute_count_;
+  groups_evaluated_ += result.groups_evaluated;
+  dirty_.erase(id);
+  best_.erase(id);
+  none_.erase(id);
+  if (result.best.has_value()) {
+    best_.emplace(id, std::move(*result.best));
+  } else if (!result.truncated) {
+    // Only a complete search proves the order groupless (see none_ docs).
+    none_.insert(id);
+  }
+}
+
+void BestGroupMap::Recompute(OrderId id, Time now) {
+  Commit(id, ComputeBest(id, now));
+}
+
+void BestGroupMap::RefreshMany(const std::vector<OrderId>& ids, Time now) {
+  // Freeze the stale set up front (in the caller's order) so the work list
+  // does not depend on scheduling.
+  std::vector<OrderId> stale;
+  for (OrderId id : ids) {
+    if (graph_->Contains(id) && NeedsRefresh(id, now)) stale.push_back(id);
+  }
+  if (stale.empty()) return;
+
+  if (executor_ == nullptr || executor_->num_threads() <= 1 ||
+      stale.size() <= kParallelGrain) {
+    for (OrderId id : stale) Recompute(id, now);
+    return;
+  }
+
+  // Parallel phase: each slot is written by exactly one task; the graph is
+  // frozen and ComputeBest never touches the caches.
+  std::vector<SearchResult> results(stale.size());
+  executor_->ParallelFor(
+      stale.size(), kParallelGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = ComputeBest(stale[i], now);
+        }
+      });
+
+  // Ordered commit, identical to running Recompute serially over `stale`.
+  for (size_t i = 0; i < stale.size(); ++i) {
+    Commit(stale[i], std::move(results[i]));
+  }
 }
 
 }  // namespace watter

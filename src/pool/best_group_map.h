@@ -13,10 +13,12 @@
 #ifndef WATTER_POOL_BEST_GROUP_MAP_H_
 #define WATTER_POOL_BEST_GROUP_MAP_H_
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/route_planner.h"
 #include "src/core/types.h"
 #include "src/pool/clique_enumerator.h"
@@ -65,6 +67,10 @@ class BestGroupMap {
         clique_options_(cliques),
         include_singletons_(include_singletons) {}
 
+  /// Installs the executor RefreshMany fans out on. Null (default) or a
+  /// 1-thread pool keeps recomputation on the calling thread. Not owned.
+  void set_executor(ThreadPool* executor) { executor_ = executor; }
+
   /// Marks an order's cached best group stale.
   void MarkDirty(OrderId id) { dirty_.insert(id); }
 
@@ -80,6 +86,15 @@ class BestGroupMap {
   /// Forces recomputation of `id` at `now` (used by tests/benches).
   void Recompute(OrderId id, Time now);
 
+  /// Refreshes every stale entry among `ids` (callers pass them sorted for
+  /// a deterministic commit order), fanning the pure per-order searches out
+  /// over the executor and committing results serially in `ids` order. After
+  /// this, BestFor on any id in `ids` is a cache hit until the graph next
+  /// changes. Results — including the diagnostic counters — are identical
+  /// for any thread count: the stale set is fixed before the fan-out and
+  /// each search depends only on the (frozen) graph, `id`, and `now`.
+  void RefreshMany(const std::vector<OrderId>& ids, Time now);
+
   int64_t recompute_count() const { return recompute_count_; }
   int64_t groups_evaluated() const { return groups_evaluated_; }
 
@@ -87,14 +102,43 @@ class BestGroupMap {
   /// True if `group` is missing, expired, or references departed orders.
   bool NeedsRefresh(OrderId id, Time now) const;
 
+  /// Outcome of one pure best-group search.
+  struct SearchResult {
+    std::optional<BestGroup> best;
+    int64_t groups_evaluated = 0;
+    /// True when clique enumeration hit the visit budget: the search saw
+    /// only a prefix of the candidate groups.
+    bool truncated = false;
+  };
+
+  /// Pure best-group search for `id` at `now`: reads the graph, never
+  /// touches the caches. Safe to run concurrently for distinct ids.
+  SearchResult ComputeBest(OrderId id, Time now) const;
+
+  /// Installs a search result into the caches (shared by Recompute and
+  /// RefreshMany so the serial and batched paths cannot diverge).
+  void Commit(OrderId id, SearchResult result);
+
   const ShareabilityGraph* graph_;
   RoutePlanner* planner_;
   ExtraTimeWeights weights_;
   int capacity_;
   CliqueOptions clique_options_;
   bool include_singletons_;
+  ThreadPool* executor_ = nullptr;  // Optional; not owned.
   std::unordered_map<OrderId, BestGroup> best_;
   std::unordered_set<OrderId> dirty_;
+  // Negative-result cache: orders whose last search found no feasible group
+  // after *complete* (untruncated) clique enumeration. Sound until the next
+  // graph change: with deadlines only tightening, a later search over an
+  // unchanged-or-smaller graph can only find fewer groups, and every event
+  // that could add a group (an arrival creating an edge) marks the order
+  // dirty. Truncated searches are never cached as negative — when the visit
+  // budget clips enumeration, removing a neighbor can pull previously
+  // unseen (and feasible) cliques inside the budget, so "none among the
+  // visited prefix" is not monotone. Without this cache, hopeless orders
+  // would re-run the full clique + planning search every check round.
+  std::unordered_set<OrderId> none_;
   int64_t recompute_count_ = 0;
   int64_t groups_evaluated_ = 0;
 };

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/route_planner.h"
 #include "src/core/types.h"
 #include "src/geo/travel_time_oracle.h"
@@ -44,6 +45,15 @@ class OrderPool {
         best_(&graph_, &planner_, options.weights, options.capacity,
               options.cliques, options.include_singletons) {}
 
+  /// Installs the executor used by the maintenance passes (edge refresh on
+  /// insert, edge expiry, best-group recomputation). Null or a 1-thread
+  /// pool keeps the pool fully serial. Not owned; must outlive the pool's
+  /// use. Results are identical for any thread count.
+  void set_executor(ThreadPool* executor) {
+    graph_.set_executor(executor);
+    best_.set_executor(executor);
+  }
+
   /// Inserts an arriving order (Algorithm 1 line 3) and updates edges and
   /// dirty best-groups.
   Status Insert(const Order& order, Time now);
@@ -57,6 +67,13 @@ class OrderPool {
   /// Best group of `id` at `now`; nullptr when no feasible group remains.
   const BestGroup* BestFor(OrderId id, Time now) {
     return best_.BestFor(id, now);
+  }
+
+  /// Refreshes the stale best groups of `ids` in one (possibly parallel)
+  /// batch so the platform's serial decision loop hits a warm cache. Pass
+  /// `ids` sorted: the commit order follows it deterministically.
+  void RefreshBestGroups(const std::vector<OrderId>& ids, Time now) {
+    best_.RefreshMany(ids, now);
   }
 
   const Order* GetOrder(OrderId id) const { return graph_.GetOrder(id); }

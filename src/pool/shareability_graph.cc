@@ -1,10 +1,15 @@
 #include "src/pool/shareability_graph.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 namespace watter {
 namespace {
+
+// Minimum shard size before a maintenance loop fans out to the executor;
+// below this the planner calls are cheaper than waking the pool.
+constexpr size_t kParallelGrain = 16;
 
 /// True if the route has riders of two different orders on board for a
 /// strictly positive duration (i.e. pooling actually happens; a pickup at
@@ -34,25 +39,77 @@ Result<std::vector<OrderId>> ShareabilityGraph::Insert(const Order& order,
   entry.inserted_at = now;
 
   std::vector<OrderId> gained;
-  for (auto& [other_id, other] : entries_) {
-    const Order& candidate = other.order;
-    // Sound quick rejects: an order past its latest dispatch can never be
-    // part of a feasible route, and the planner would discover that the
-    // expensive way.
-    if (now > order.LatestDispatch() || now > candidate.LatestDispatch()) {
-      continue;
+  bool parallel = executor_ != nullptr && executor_->num_threads() > 1 &&
+                  entries_.size() > kParallelGrain;
+  if (!parallel) {
+    // Serial fast path: one pass, no scratch allocations. Edge *order*
+    // within an adjacency list is unobservable (consumers sort or scan),
+    // so this path and the sorted parallel commit below yield identical
+    // behavior; see the ParallelMaintenanceMatchesSerial property.
+    for (auto& [other_id, other] : entries_) {
+      const Order& candidate = other.order;
+      // Sound quick rejects: an order past its latest dispatch can never be
+      // part of a feasible route, and the planner would discover that the
+      // expensive way.
+      if (now > order.LatestDispatch() || now > candidate.LatestDispatch()) {
+        continue;
+      }
+      ++pair_tests_;
+      auto plan = planner_->PlanBest({&entry.order, &candidate}, now,
+                                     options_.capacity);
+      if (!plan.ok()) continue;
+      if (options_.require_overlap && !RouteInterleaves(plan->route)) continue;
+      entry.edges.push_back(
+          ShareEdge{other_id, plan->latest_departure, plan->total_cost});
+      other.edges.push_back(
+          ShareEdge{order.id, plan->latest_departure, plan->total_cost});
+      ++edge_count_;
+      gained.push_back(other_id);
     }
-    ++pair_tests_;
-    auto plan = planner_->PlanBest({&entry.order, &candidate}, now,
-                                   options_.capacity);
-    if (!plan.ok()) continue;
-    if (options_.require_overlap && !RouteInterleaves(plan->route)) continue;
-    ShareEdge to_other{other_id, plan->latest_departure, plan->total_cost};
-    ShareEdge to_new{order.id, plan->latest_departure, plan->total_cost};
-    entry.edges.push_back(to_other);
-    other.edges.push_back(to_new);
+    entries_.emplace(order.id, std::move(entry));
+    return gained;
+  }
+
+  // Parallel path. Candidate partners in ascending-id order: deterministic
+  // regardless of hash-map iteration and of the executor's thread count.
+  std::vector<OrderId> candidates;
+  if (now <= order.LatestDispatch()) {
+    candidates.reserve(entries_.size());
+    for (const auto& [other_id, other] : entries_) {
+      if (now > other.order.LatestDispatch()) continue;
+      candidates.push_back(other_id);
+    }
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  // Fan-out phase: pair-feasibility tests are pure (planner + oracle are
+  // thread-safe; the graph is not mutated), each writing only its own slot.
+  std::vector<std::optional<ShareEdge>> tested;
+  executor_->ParallelMap(
+      candidates.size(), kParallelGrain, &tested,
+      [&](size_t i) -> std::optional<ShareEdge> {
+        const Order& candidate = entries_.find(candidates[i])->second.order;
+        auto plan = planner_->PlanBest({&entry.order, &candidate}, now,
+                                       options_.capacity);
+        if (!plan.ok()) return std::nullopt;
+        if (options_.require_overlap && !RouteInterleaves(plan->route)) {
+          return std::nullopt;
+        }
+        return ShareEdge{candidates[i], plan->latest_departure,
+                         plan->total_cost};
+      });
+  pair_tests_ += static_cast<int64_t>(candidates.size());
+
+  // Ordered commit: mirror each surviving edge on both endpoints, ascending
+  // by candidate id.
+  for (const std::optional<ShareEdge>& edge : tested) {
+    if (!edge.has_value()) continue;
+    entry.edges.push_back(*edge);
+    entries_.find(edge->other)
+        ->second.edges.push_back(
+            ShareEdge{order.id, edge->expiry, edge->pair_cost});
     ++edge_count_;
-    gained.push_back(other_id);
+    gained.push_back(edge->other);
   }
   entries_.emplace(order.id, std::move(entry));
   return gained;
@@ -87,20 +144,58 @@ void ShareabilityGraph::RemoveEdgeTo(OrderId from, OrderId to) {
 
 std::vector<OrderId> ShareabilityGraph::ExpireEdges(Time now) {
   std::vector<OrderId> affected;
-  for (auto& [id, entry] : entries_) {
-    auto& edges = entry.edges;
-    size_t before = edges.size();
-    edges.erase(std::remove_if(edges.begin(), edges.end(),
-                               [now](const ShareEdge& e) {
-                                 return e.expiry < now;
-                               }),
-                edges.end());
-    if (edges.size() != before) affected.push_back(id);
+  if (executor_ == nullptr || executor_->num_threads() <= 1 ||
+      entries_.size() <= kParallelGrain) {
+    // Serial fast path: one pass over the map, no snapshot. The affected
+    // list's *order* differs from the parallel path's sorted one, but it
+    // only feeds unordered dirty-marking, so behavior is identical.
+    for (auto& [id, entry] : entries_) {
+      auto& edges = entry.edges;
+      size_t before = edges.size();
+      edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                 [now](const ShareEdge& e) {
+                                   return e.expiry < now;
+                                 }),
+                  edges.end());
+      if (edges.size() != before) affected.push_back(id);
+    }
+    int64_t directed = 0;
+    for (const auto& [id, entry] : entries_) {
+      directed += static_cast<int64_t>(entry.edges.size());
+    }
+    // Each expired edge was trimmed from both endpoints.
+    edge_count_ = directed / 2;
+    return affected;
   }
-  // Each expired edge was trimmed from both endpoints; recount.
+
+  // Parallel path: shard by entry — each task trims exactly one adjacency
+  // list, so shards touch disjoint state. The snapshot is sorted so the
+  // affected list is identical for any thread count.
+  std::vector<OrderId> ids = OrderIds();
+  std::sort(ids.begin(), ids.end());
+  std::vector<int64_t> kept(ids.size(), 0);
+  std::vector<char> trimmed(ids.size(), 0);
+  executor_->ParallelFor(
+      ids.size(), kParallelGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          auto& edges = entries_.find(ids[i])->second.edges;
+          size_t before = edges.size();
+          edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                     [now](const ShareEdge& e) {
+                                       return e.expiry < now;
+                                     }),
+                      edges.end());
+          kept[i] = static_cast<int64_t>(edges.size());
+          trimmed[i] = edges.size() != before ? 1 : 0;
+        }
+      });
+
+  // Ordered reduction: rebuild the affected list and the edge count from
+  // the per-entry results.
   int64_t directed = 0;
-  for (const auto& [id, entry] : entries_) {
-    directed += static_cast<int64_t>(entry.edges.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (trimmed[i]) affected.push_back(ids[i]);
+    directed += kept[i];
   }
   edge_count_ = directed / 2;
   return affected;

@@ -30,6 +30,10 @@ WorkerId Fleet::FindClosestIdle(NodeId target, int min_capacity,
       [this, min_capacity](int64_t id) {
         return workers_[id - 1].capacity >= min_capacity;
       });
+  // Exact refinement of the Euclidean pre-filter. Deliberately serial:
+  // with the default matrix oracle each Cost() is one array read, and the
+  // caching oracles serialize behind their internal mutex anyway, so a
+  // parallel probe would only pay the pool's wake/join overhead.
   WorkerId best = kInvalidWorker;
   double best_cost = kInfCost;
   for (int64_t id : nearby) {

@@ -14,6 +14,13 @@ PoolOptions MergePoolOptions(PoolOptions base, const Scenario& scenario) {
   return base;
 }
 
+int ResolveThreads(const SimOptions& options, const Scenario& scenario) {
+  int threads =
+      options.num_threads != 0 ? options.num_threads
+                               : scenario.options.num_threads;
+  return threads <= 0 ? ThreadPool::DefaultThreads() : threads;
+}
+
 }  // namespace
 
 WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
@@ -21,6 +28,7 @@ WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
     : scenario_(scenario),
       provider_(provider),
       options_(options),
+      executor_(ResolveThreads(options, *scenario)),
       pool_(scenario->oracle.get(),
             MergePoolOptions(options.pool, *scenario)),
       fleet_(scenario->workers, &scenario->city->graph, options.grid_cells),
@@ -31,7 +39,9 @@ WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
                            options.grid_cells),
       demand_dropoff_index_(scenario->city->graph.MinCorner(),
                             scenario->city->graph.MaxCorner(),
-                            options.grid_cells) {}
+                            options.grid_cells) {
+  pool_.set_executor(&executor_);
+}
 
 void WatterPlatform::Observe(const Order& order, Time now, int action,
                              bool expired, double detour) {
@@ -109,6 +119,9 @@ bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
 }
 
 void WatterPlatform::RunCheck(Time now) {
+  // Maintenance phase. Edge expiry shards per graph entry inside the pool.
+  // The three grid snapshots stay serial on purpose: each is O(cells) of
+  // trivial work, far below the pool's wake/join cost.
   pool_.ExpireEdges(now);
   demand_pickup_counts_ = demand_pickup_index_.CellCounts();
   demand_dropoff_counts_ = demand_dropoff_index_.CellCounts();
@@ -118,6 +131,24 @@ void WatterPlatform::RunCheck(Time now) {
 
   std::vector<OrderId> ids = pool_.OrderIds();
   std::sort(ids.begin(), ids.end());  // Deterministic, arrival-ordered.
+
+  // Phase A: recompute every stale best group in parallel against the
+  // frozen graph. The serial decision loop below then runs against a warm
+  // cache; groups invalidated by this round's own dispatches are lazily
+  // recomputed in-loop, exactly as in the serial algorithm.
+  //
+  // This phase runs at EVERY thread count, including 1 — do not "optimize"
+  // it away in serial mode. A lazy recompute at loop position sees the
+  // post-dispatch graph; when the clique visit budget truncates
+  // enumeration, that can select a different group than the pre-dispatch
+  // phase-A value, and metrics would then depend on the thread count.
+  // Keeping the algorithm fixed costs ~7% serial time on dense workloads
+  // and is what makes the determinism contract unconditional.
+  pool_.RefreshBestGroups(ids, now);
+
+  // Phase B: the sequential decision/dispatch loop. This stays serial on
+  // purpose — each dispatch consumes workers and removes partner orders,
+  // which changes the problem every later order sees.
   for (OrderId id : ids) {
     if (!pool_.Contains(id)) continue;  // Dispatched earlier this round.
     const Order* order = pool_.GetOrder(id);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/core/metrics.h"
 #include "src/geo/grid_index.h"
 #include "src/pool/order_pool.h"
@@ -54,6 +55,11 @@ struct SimOptions {
   double cancellation_hazard = 0.0;
   /// Seed for platform-side randomness (currently only cancellations).
   uint64_t sim_seed = 0xC0FFEE;
+  /// Threads for the check loop and pool maintenance. 0 = inherit the
+  /// scenario's WorkloadOptions::num_threads; otherwise as there (1 =
+  /// serial, negative = all hardware threads). Metrics and dispatch
+  /// decisions are bitwise identical for any value (see thread_pool.h).
+  int num_threads = 0;
 };
 
 /// One observed per-order decision; the RL trainer consumes these to build
@@ -103,6 +109,8 @@ class WatterPlatform {
   Scenario* scenario_;
   ThresholdProvider* provider_;
   SimOptions options_;
+  // Declared before the pool and fleet that borrow it, so it outlives them.
+  ThreadPool executor_;
   OrderPool pool_;
   Fleet fleet_;
   MetricsCollector metrics_;

@@ -35,6 +35,10 @@ struct WorkloadOptions {
   int city_height = 32;
   double cell_seconds = 60.0;
   OracleKind oracle = OracleKind::kMatrix;
+  /// Threads the platform's check loop and pool maintenance run on when
+  /// simulating this scenario (results are thread-count-independent).
+  /// 1 = serial; 0 = use all hardware threads. SimOptions can override.
+  int num_threads = 1;
   uint64_t seed = 42;
   /// Road-network seed; 0 derives it from `seed`. Fix it to share one city
   /// across several demand "days" (e.g. RL training vs evaluation runs).

@@ -1,0 +1,105 @@
+// Unit tests of the chunked fork-join ThreadPool: full coverage of the
+// index range, reuse across many jobs, inline nesting, exception
+// propagation, and the ordered-reduction (ParallelMap) determinism pattern.
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace watter {
+namespace {
+
+TEST(ThreadPoolTest, ResolvesThreadCounts) {
+  EXPECT_EQ(ThreadPool(1).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(3).num_threads(), 3);
+  EXPECT_GE(ThreadPool(0).num_threads(), 1);   // Hardware default.
+  EXPECT_GE(ThreadPool(-4).num_threads(), 1);  // Negative = hardware too.
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, 3, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.ParallelFor(64, 4, [&](size_t begin, size_t end) {
+      total.fetch_add(static_cast<int64_t>(end - begin),
+                      std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 64);
+}
+
+TEST(ThreadPoolTest, ParallelMapIsDeterministicAcrossThreadCounts) {
+  auto square_sum = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> out;
+    pool.ParallelMap(512, 8, &out, [](size_t i) {
+      return static_cast<int64_t>(i) * static_cast<int64_t>(i);
+    });
+    // Ordered reduction on the calling thread.
+    return std::accumulate(out.begin(), out.end(), int64_t{0});
+  };
+  int64_t reference = square_sum(1);
+  for (int threads : {2, 3, 8}) {
+    EXPECT_EQ(square_sum(threads), reference);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  pool.ParallelFor(16, 1, [&](size_t begin, size_t end) {
+    for (size_t outer = begin; outer < end; ++outer) {
+      // Re-entrant call from a worker (or the driving thread's own chunk):
+      // must run inline without deadlocking.
+      pool.ParallelFor(16, 1, [&](size_t ib, size_t ie) {
+        for (size_t inner = ib; inner < ie; ++inner) {
+          hits[outer * 16 + inner].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100, 1,
+                       [](size_t begin, size_t) {
+                         if (begin == 42) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives and runs the next job normally.
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, 1, [&](size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace watter

@@ -1,11 +1,16 @@
 // Randomized property tests of the order pool: a stream of insertions,
 // removals and expiries on a real city must preserve the structural
-// invariants of the temporal shareability graph and the best-group map.
+// invariants of the temporal shareability graph and the best-group map,
+// incremental edge maintenance must match a from-scratch rebuild, and the
+// parallel maintenance paths must match the serial ones bit for bit.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/geo/city_generator.h"
 #include "src/pool/order_pool.h"
 
@@ -102,6 +107,207 @@ TEST_P(PoolPropertyTest, InvariantsHoldUnderRandomStreams) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolPropertyTest,
                          testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance vs. from-scratch rebuild, and parallel vs. serial.
+// ---------------------------------------------------------------------------
+
+// One scripted mutation, pre-generated so the same stream can be replayed
+// into several pools.
+struct PoolOp {
+  enum Kind { kInsert, kRemove, kExpire } kind;
+  Order order;          // kInsert.
+  Time inserted_at = 0; // kInsert.
+  OrderId target = kInvalidOrder;  // kRemove.
+  Time now = 0;
+};
+
+// A deterministic random op stream over a generated city. Also returns the
+// final timestamp via `end_time`.
+std::vector<PoolOp> MakeOpStream(const City& city, TravelTimeOracle* oracle,
+                                 uint64_t seed, int steps, Time* end_time) {
+  Rng rng(seed * 131 + 5);
+  Time now = 0.0;
+  OrderId next_id = 1;
+  std::vector<OrderId> alive;
+  std::vector<PoolOp> ops;
+  for (int step = 0; step < steps; ++step) {
+    now += rng.Uniform(0, 20);
+    double action = rng.Uniform();
+    PoolOp op;
+    op.now = now;
+    if (action < 0.6 || alive.empty()) {
+      Order order;
+      order.id = next_id++;
+      order.pickup = city.RandomNode(&rng);
+      do {
+        order.dropoff = city.RandomNode(&rng);
+      } while (order.dropoff == order.pickup);
+      order.riders = static_cast<int>(rng.UniformInt(1, 2));
+      order.release = now;
+      order.shortest_cost = oracle->Cost(order.pickup, order.dropoff);
+      order.deadline = now + rng.Uniform(1.2, 2.0) * order.shortest_cost;
+      order.wait_limit = 0.8 * order.shortest_cost;
+      op.kind = PoolOp::kInsert;
+      op.order = order;
+      op.inserted_at = now;
+      alive.push_back(order.id);
+    } else if (action < 0.85) {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alive.size()) - 1));
+      op.kind = PoolOp::kRemove;
+      op.target = alive[pick];
+      alive.erase(alive.begin() + static_cast<int64_t>(pick));
+    } else {
+      op.kind = PoolOp::kExpire;
+    }
+    ops.push_back(op);
+  }
+  *end_time = now;
+  return ops;
+}
+
+void ApplyOp(OrderPool* pool, const PoolOp& op) {
+  switch (op.kind) {
+    case PoolOp::kInsert:
+      ASSERT_TRUE(pool->Insert(op.order, op.inserted_at).ok());
+      break;
+    case PoolOp::kRemove:
+      ASSERT_TRUE(pool->Remove(op.target).ok());
+      break;
+    case PoolOp::kExpire:
+      pool->ExpireEdges(op.now);
+      break;
+  }
+}
+
+// Adjacency snapshot with edges sorted by neighbor id, for exact comparison.
+std::map<OrderId, std::vector<ShareEdge>> SnapshotEdges(
+    const ShareabilityGraph& graph) {
+  std::map<OrderId, std::vector<ShareEdge>> snapshot;
+  for (OrderId id : graph.OrderIds()) {
+    std::vector<ShareEdge> edges = graph.Neighbors(id);
+    std::sort(edges.begin(), edges.end(),
+              [](const ShareEdge& a, const ShareEdge& b) {
+                return a.other < b.other;
+              });
+    snapshot.emplace(id, std::move(edges));
+  }
+  return snapshot;
+}
+
+void ExpectSameEdges(const std::map<OrderId, std::vector<ShareEdge>>& a,
+                     const std::map<OrderId, std::vector<ShareEdge>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [id, edges_a] : a) {
+    auto it = b.find(id);
+    ASSERT_NE(it, b.end()) << "node " << id << " missing";
+    const std::vector<ShareEdge>& edges_b = it->second;
+    ASSERT_EQ(edges_a.size(), edges_b.size()) << "node " << id;
+    for (size_t i = 0; i < edges_a.size(); ++i) {
+      EXPECT_EQ(edges_a[i].other, edges_b[i].other) << "node " << id;
+      // Bitwise: both sides run the identical planner computation.
+      EXPECT_EQ(edges_a[i].expiry, edges_b[i].expiry) << "node " << id;
+      EXPECT_EQ(edges_a[i].pair_cost, edges_b[i].pair_cost) << "node " << id;
+    }
+  }
+}
+
+class PoolRebuildPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+// After an arbitrary insert/remove/expire stream, the incrementally
+// maintained graph must equal a graph rebuilt from scratch by replaying the
+// surviving orders chronologically at their original insertion times (both
+// trimmed to the same `now`): incremental maintenance may never leave ghost
+// edges behind nor lose live ones.
+TEST_P(PoolRebuildPropertyTest, IncrementalEdgesMatchFromScratchRebuild) {
+  auto city = GenerateCity({.width = 14, .height = 14, .seed = GetParam()});
+  ASSERT_TRUE(city.ok());
+  auto oracle = BuildOracle(city->graph, OracleKind::kMatrix);
+  ASSERT_TRUE(oracle.ok());
+
+  Time end_time = 0.0;
+  std::vector<PoolOp> ops =
+      MakeOpStream(*city, oracle->get(), GetParam(), 250, &end_time);
+
+  OrderPool incremental(oracle->get(), PoolOptions{});
+  std::map<OrderId, PoolOp> alive;  // Insert ops of resident orders.
+  int checkpoints = 0;
+  for (size_t step = 0; step < ops.size(); ++step) {
+    const PoolOp& op = ops[step];
+    ApplyOp(&incremental, op);
+    if (testing::Test::HasFatalFailure()) return;
+    if (op.kind == PoolOp::kInsert) alive.emplace(op.order.id, op);
+    if (op.kind == PoolOp::kRemove) alive.erase(op.target);
+
+    if (step % 50 != 49 && step + 1 != ops.size()) continue;
+    ++checkpoints;
+    Time now = op.now;
+    // Rebuild from scratch: replay the survivors chronologically (std::map
+    // iterates ascending ids == ascending insertion order here).
+    OrderPool rebuilt(oracle->get(), PoolOptions{});
+    for (const auto& [id, insert_op] : alive) {
+      ASSERT_TRUE(rebuilt.Insert(insert_op.order, insert_op.inserted_at).ok());
+    }
+    // Trim both to `now`: the incremental pool may carry expired-but-not-
+    // yet-trimmed edges that the rebuild never materializes.
+    incremental.ExpireEdges(now);
+    rebuilt.ExpireEdges(now);
+    ExpectSameEdges(SnapshotEdges(incremental.graph()),
+                    SnapshotEdges(rebuilt.graph()));
+  }
+  EXPECT_GE(checkpoints, 5);
+}
+
+// The same op stream driven through a serial pool and through a pool whose
+// maintenance fans out on a 4-thread executor must produce bitwise-identical
+// graphs and best groups — the determinism contract of the parallel paths.
+// (Under TSan this doubles as the data-race harness for src/pool/.)
+TEST_P(PoolRebuildPropertyTest, ParallelMaintenanceMatchesSerial) {
+  auto city = GenerateCity({.width = 14, .height = 14, .seed = GetParam()});
+  ASSERT_TRUE(city.ok());
+  auto oracle = BuildOracle(city->graph, OracleKind::kMatrix);
+  ASSERT_TRUE(oracle.ok());
+
+  Time end_time = 0.0;
+  std::vector<PoolOp> ops =
+      MakeOpStream(*city, oracle->get(), GetParam(), 250, &end_time);
+
+  ThreadPool executor(4);
+  OrderPool serial(oracle->get(), PoolOptions{});
+  OrderPool parallel(oracle->get(), PoolOptions{});
+  parallel.set_executor(&executor);
+
+  for (size_t step = 0; step < ops.size(); ++step) {
+    const PoolOp& op = ops[step];
+    ApplyOp(&serial, op);
+    ApplyOp(&parallel, op);
+    if (testing::Test::HasFatalFailure()) return;
+    if (step % 25 != 24 && step + 1 != ops.size()) continue;
+
+    ExpectSameEdges(SnapshotEdges(serial.graph()),
+                    SnapshotEdges(parallel.graph()));
+
+    // Exercise the batched (parallel) best-group refresh against the serial
+    // per-order path and require identical winners.
+    std::vector<OrderId> ids = serial.OrderIds();
+    std::sort(ids.begin(), ids.end());
+    parallel.RefreshBestGroups(ids, op.now);
+    for (OrderId id : ids) {
+      const BestGroup* a = serial.BestFor(id, op.now);
+      const BestGroup* b = parallel.BestFor(id, op.now);
+      ASSERT_EQ(a == nullptr, b == nullptr) << "order " << id;
+      if (a == nullptr) continue;
+      EXPECT_EQ(a->members, b->members) << "order " << id;
+      EXPECT_EQ(a->plan.total_cost, b->plan.total_cost) << "order " << id;
+      EXPECT_EQ(a->plan.latest_departure, b->plan.latest_departure)
+          << "order " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolRebuildPropertyTest,
+                         testing::Values(11, 222, 3303));
 
 }  // namespace
 }  // namespace watter

@@ -1,0 +1,84 @@
+// Paper-scale smoke test: n = 30k orders / m = 3k workers, the lower end of
+// the paper's Table III ranges (the seed repo ran 4k/400).
+//
+// Budget gate: this case takes minutes, so it self-skips unless
+// WATTER_RUN_LARGE is set, and its ctest registration carries the `large`
+// label (see tests/CMakeLists.txt). Tier-1 runs stay fast; CI runs it in
+// the Release job only via `WATTER_RUN_LARGE=1 ctest -L large`.
+//
+// Set WATTER_PERF_ASSERT additionally to also assert the >= 2x epoch-loop
+// speedup at 4 threads — meaningful only on a machine with >= 4 cores, so
+// it is a separate opt-in rather than part of the smoke run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/sim/platform.h"
+#include "src/strategy/threshold_provider.h"
+#include "src/workload/scenario.h"
+
+namespace watter {
+namespace {
+
+WorkloadOptions PaperScaleWorkload() {
+  WorkloadOptions options;
+  options.dataset = DatasetKind::kCdc;
+  options.num_orders = 30000;
+  options.num_workers = 3000;
+  options.city_width = 32;
+  options.city_height = 32;
+  options.duration = 4.0 * 3600.0;
+  options.seed = 20240301;
+  return options;
+}
+
+MetricsReport RunAt(const WorkloadOptions& workload, int num_threads,
+                    ThresholdProvider* provider) {
+  // Re-generate per run: the platform consumes a scenario's mutable oracle
+  // caches, and sharing one Scenario across runs would entangle timings.
+  auto scenario = GenerateScenario(workload);
+  EXPECT_TRUE(scenario.ok()) << scenario.status().ToString();
+  if (!scenario.ok()) return {};
+  SimOptions options;
+  options.num_threads = num_threads;
+  return RunWatter(&*scenario, provider, options);
+}
+
+TEST(PaperScaleTest, ThirtyThousandOrdersEndToEnd) {
+  if (std::getenv("WATTER_RUN_LARGE") == nullptr) {
+    GTEST_SKIP() << "paper-scale run skipped; set WATTER_RUN_LARGE=1 "
+                    "(registered under the `large` ctest label)";
+  }
+  WorkloadOptions workload = PaperScaleWorkload();
+  {
+    auto scenario = GenerateScenario(workload);
+    ASSERT_TRUE(scenario.ok());
+    ASSERT_EQ(scenario->orders.size(), 30000u);
+    ASSERT_EQ(scenario->workers.size(), 3000u);
+  }
+
+  OnlineThresholdProvider online;
+  MetricsReport parallel = RunAt(workload, 4, &online);
+  EXPECT_EQ(parallel.served + parallel.rejected, 30000);
+  EXPECT_GT(parallel.served, 0);
+  EXPECT_GT(parallel.service_rate, 0.2);
+  EXPECT_GT(parallel.avg_group_size, 1.0);  // Pooling actually happens.
+
+  if (std::getenv("WATTER_PERF_ASSERT") != nullptr) {
+    // The speedup measurement uses the timeout strategy: it holds orders
+    // for their full watching window, so the pool — and with it the
+    // parallelized maintenance + best-group recomputation — dominates the
+    // epoch loop (the online strategy's pool is too small to show scaling).
+    TimeoutThresholdProvider timeout;
+    MetricsReport par = RunAt(workload, 4, &timeout);
+    MetricsReport ser = RunAt(workload, 1, &timeout);
+    EXPECT_EQ(ser.served, par.served);  // Determinism at scale, for free.
+    // Decision-loop wall time only (scenario generation excluded).
+    EXPECT_GE(ser.algorithm_seconds / par.algorithm_seconds, 2.0)
+        << "serial=" << ser.algorithm_seconds
+        << "s parallel(4)=" << par.algorithm_seconds << "s";
+  }
+}
+
+}  // namespace
+}  // namespace watter

@@ -15,6 +15,8 @@
 //   --dataset nyc|cdc|xia [cdc]   --orders N [1500]   --workers M [150]
 //   --tau X [1.6]  --eta X [0.8]  --capacity K [4]    --seed S [42]
 //   --city-seed S [derived]       --duration HOURS [2]
+//   --threads T [1; 0 = all hardware threads] — parallelism of the check
+//   loop and pool maintenance; metrics are identical for any T.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,7 +59,8 @@ struct CliArgs {
                "  workload flags: --dataset nyc|cdc|xia --orders N "
                "--workers M\n"
                "                  --tau X --eta X --capacity K --seed S\n"
-               "                  --city-seed S --duration HOURS\n");
+               "                  --city-seed S --duration HOURS\n"
+               "                  --threads T (0 = all hardware threads)\n");
   std::exit(2);
 }
 
@@ -106,6 +109,8 @@ CliArgs Parse(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(need_value("--city-seed")));
     } else if (std::strcmp(argv[i], "--duration") == 0) {
       args.workload.duration = std::atof(need_value("--duration")) * 3600.0;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      args.workload.num_threads = std::atoi(need_value("--threads"));
     } else if (std::strcmp(argv[i], "--strategy") == 0) {
       args.strategy = need_value("--strategy");
     } else if (std::strcmp(argv[i], "--model") == 0) {
