@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   using namespace watter::bench;
   bool quick = QuickMode(argc, argv);
   int threads = BenchThreads(argc, argv);
+  std::vector<DispatchMode> modes = BenchDispatchModes(argc, argv);
+  BenchJson().path = BenchJsonPath(argc, argv);
+  BenchJson().threads = threads;
 
   for (DatasetKind dataset : BenchDatasets(quick)) {
     WorkloadOptions base = BaseWorkload(dataset);
@@ -34,14 +37,24 @@ int main(int argc, char** argv) {
       sweep.push_back(static_cast<int>(base_n * factor));
     }
     if (quick) sweep = {sweep[0], sweep[2]};
-    RunSweep<int>(
-        "Figure 3", dataset, "n", sweep,
-        [&base](int n) {
-          WorkloadOptions options = base;
-          options.num_orders = n;
-          return options;
-        },
-        AlgorithmFamily(model.get()));
+    for (DispatchMode mode : modes) {
+      BenchJson().dispatch = DispatchName(mode);
+      SimOptions sim;
+      sim.dispatch = mode;
+      std::string figure = "Figure 3";
+      if (modes.size() > 1) {
+        figure += std::string(" [dispatch=") + DispatchName(mode) + "]";
+      }
+      RunSweep<int>(
+          figure, dataset, "n", sweep,
+          [&base](int n) {
+            WorkloadOptions options = base;
+            options.num_orders = n;
+            return options;
+          },
+          AlgorithmFamily(model.get(), sim,
+                          /*with_baselines=*/mode == modes.front()));
+    }
   }
   return 0;
 }

@@ -13,6 +13,11 @@ int main(int argc, char** argv) {
   using namespace watter::bench;
   bool quick = QuickMode(argc, argv);
   int threads = BenchThreads(argc, argv);
+  SimOptions sim;
+  sim.dispatch = SingleDispatchMode(argc, argv);
+  BenchJson().path = BenchJsonPath(argc, argv);
+  BenchJson().threads = threads;
+  BenchJson().dispatch = DispatchName(sim.dispatch);
 
   for (DatasetKind dataset : BenchDatasets(quick)) {
     WorkloadOptions base = BaseWorkload(dataset);
@@ -36,7 +41,7 @@ int main(int argc, char** argv) {
           options.num_workers = m;
           return options;
         },
-        AlgorithmFamily(model.get()));
+        AlgorithmFamily(model.get(), sim));
   }
   return 0;
 }

@@ -10,9 +10,16 @@ int main(int argc, char** argv) {
   using namespace watter;
   using namespace watter::bench;
   bool quick = QuickMode(argc, argv);
+  int threads = BenchThreads(argc, argv);
+  SimOptions sim;
+  sim.dispatch = SingleDispatchMode(argc, argv);
+  BenchJson().path = BenchJsonPath(argc, argv);
+  BenchJson().threads = threads;
+  BenchJson().dispatch = DispatchName(sim.dispatch);
 
   for (DatasetKind dataset : BenchDatasets(quick)) {
     WorkloadOptions base = BaseWorkload(dataset);
+    base.num_threads = threads;
     std::unique_ptr<ExpectModel> model;
     if (!quick) {
       auto trained = TrainExpect(base);
@@ -32,7 +39,7 @@ int main(int argc, char** argv) {
           options.max_capacity = capacity;
           return options;
         },
-        AlgorithmFamily(model.get()));
+        AlgorithmFamily(model.get(), sim));
   }
   return 0;
 }

@@ -53,6 +53,87 @@ inline int BenchThreads(int argc, char** argv) {
   return env != nullptr ? std::atoi(env) : 1;
 }
 
+inline const char* DispatchName(DispatchMode mode) {
+  return mode == DispatchMode::kBatched ? "batched" : "serial";
+}
+
+/// Dispatch engines to sweep: `--dispatch serial|batched|both` or
+/// WATTER_BENCH_DISPATCH. Default runs the serial engine only; `both`
+/// produces the serial-vs-batched A/B the JSON baseline records.
+inline std::vector<DispatchMode> BenchDispatchModes(int argc, char** argv) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--dispatch") == 0) value = argv[i + 1];
+  }
+  if (value == nullptr) value = std::getenv("WATTER_BENCH_DISPATCH");
+  if (value == nullptr || std::strcmp(value, "serial") == 0) {
+    return {DispatchMode::kSerial};
+  }
+  if (std::strcmp(value, "batched") == 0) return {DispatchMode::kBatched};
+  if (std::strcmp(value, "both") == 0) {
+    return {DispatchMode::kSerial, DispatchMode::kBatched};
+  }
+  std::fprintf(stderr, "unknown --dispatch value: %s\n", value);
+  std::exit(2);
+}
+
+/// For drivers that run one engine per invocation: like BenchDispatchModes
+/// but rejects `both` loudly instead of silently dropping a mode.
+inline DispatchMode SingleDispatchMode(int argc, char** argv) {
+  std::vector<DispatchMode> modes = BenchDispatchModes(argc, argv);
+  if (modes.size() != 1) {
+    std::fprintf(stderr,
+                 "--dispatch both is only supported by bench_fig3_vary_n; "
+                 "pick serial or batched\n");
+    std::exit(2);
+  }
+  return modes.front();
+}
+
+/// Machine-readable sweep output (`--json FILE` or WATTER_BENCH_JSON): one
+/// JSON array of records, one record per (sweep value, algorithm) cell,
+/// written at process exit. BENCH_dispatch.json in the repo root is
+/// produced this way (CMake target `bench_dispatch_json`) so dispatch-
+/// engine baselines stay comparable across PRs.
+struct JsonSink {
+  std::string path;
+  int threads = 1;
+  const char* dispatch = "serial";
+  std::vector<std::string> records;
+
+  ~JsonSink() { Flush(); }
+
+  void Flush() {
+    if (path.empty() || records.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", records[i].c_str(),
+                   i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    records.clear();
+  }
+};
+
+inline JsonSink& BenchJson() {
+  static JsonSink sink;
+  return sink;
+}
+
+inline std::string BenchJsonPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  const char* env = std::getenv("WATTER_BENCH_JSON");
+  return env != nullptr ? env : "";
+}
+
 /// Baseline workload for a dataset at the reproduction scale. Defaults
 /// mirror Table III's italicized values: n = base, m = 5k-scaled, tau = 1.6,
 /// Kw = 4.
@@ -96,29 +177,38 @@ inline Result<ExpectModel> TrainExpect(const WorkloadOptions& base) {
 }
 
 /// The paper's algorithm family. `model` may be null (quick mode): then
-/// WATTER-expect and WATTER-gmm are omitted.
-inline std::vector<Algorithm> AlgorithmFamily(const ExpectModel* model) {
+/// WATTER-expect and WATTER-gmm are omitted. `sim` selects the dispatch
+/// engine (and any other platform knob) for the WATTER strategies; the
+/// GDP/GAS baselines have their own loops and ignore it — pass
+/// `with_baselines = false` on all but the first engine of a multi-engine
+/// sweep so they are not re-run (and re-recorded) with numbers the knob
+/// cannot change.
+inline std::vector<Algorithm> AlgorithmFamily(const ExpectModel* model,
+                                              const SimOptions& sim = {},
+                                              bool with_baselines = true) {
   std::vector<Algorithm> algorithms;
   if (model != nullptr) {
-    algorithms.push_back({"WATTER-expect", [model](Scenario* s) {
+    algorithms.push_back({"WATTER-expect", [model, sim](Scenario* s) {
                             auto provider = model->MakeProvider();
-                            return RunWatter(s, provider.get());
+                            return RunWatter(s, provider.get(), sim);
                           }});
-    algorithms.push_back({"WATTER-gmm", [model](Scenario* s) {
+    algorithms.push_back({"WATTER-gmm", [model, sim](Scenario* s) {
                             GmmThresholdProvider provider(*model->mixture);
-                            return RunWatter(s, &provider);
+                            return RunWatter(s, &provider, sim);
                           }});
   }
-  algorithms.push_back({"WATTER-online", [](Scenario* s) {
+  algorithms.push_back({"WATTER-online", [sim](Scenario* s) {
                           OnlineThresholdProvider provider;
-                          return RunWatter(s, &provider);
+                          return RunWatter(s, &provider, sim);
                         }});
-  algorithms.push_back({"WATTER-timeout", [](Scenario* s) {
+  algorithms.push_back({"WATTER-timeout", [sim](Scenario* s) {
                           TimeoutThresholdProvider provider;
-                          return RunWatter(s, &provider);
+                          return RunWatter(s, &provider, sim);
                         }});
-  algorithms.push_back({"GDP", [](Scenario* s) { return RunGdp(s); }});
-  algorithms.push_back({"GAS", [](Scenario* s) { return RunGas(s); }});
+  if (with_baselines) {
+    algorithms.push_back({"GDP", [](Scenario* s) { return RunGdp(s); }});
+    algorithms.push_back({"GAS", [](Scenario* s) { return RunGas(s); }});
+  }
   return algorithms;
 }
 
@@ -169,6 +259,25 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
         std::exit(1);
       }
       results.back().push_back(algorithm.run(&*scenario));
+      if (!BenchJson().path.empty()) {
+        const MetricsReport& r = results.back().back();
+        char record[512];
+        std::snprintf(
+            record, sizeof(record),
+            "{\"figure\": \"%s\", \"dataset\": \"%s\", \"sweep\": \"%s\", "
+            "\"value\": %s, \"algorithm\": \"%s\", \"threads\": %d, "
+            "\"dispatch\": \"%s\", \"served\": %lld, \"rejected\": %lld, "
+            "\"metrs_objective\": %.6g, \"unified_cost\": %.6g, "
+            "\"service_rate\": %.6g, \"running_time_per_order_us\": %.3f}",
+            figure.c_str(), DatasetName(dataset), sweep_label.c_str(),
+            std::to_string(value).c_str(), algorithm.name.c_str(),
+            BenchJson().threads, BenchJson().dispatch,
+            static_cast<long long>(r.served),
+            static_cast<long long>(r.rejected), r.metrs_objective,
+            r.unified_cost, r.service_rate,
+            r.running_time_per_order * 1e6);
+        BenchJson().records.emplace_back(record);
+      }
     }
   }
   for (const MetricColumn& metric : PaperMetrics()) {

@@ -113,4 +113,15 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
     }                                                                   \
   } while (false)
 
+/// Aborts with `message` if `cond` is false. The boolean sibling of
+/// WATTER_CHECK_OK, for invariants that are not Status-valued.
+#define WATTER_CHECK(cond, message)                                  \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::std::fprintf(stderr, "WATTER_CHECK failed at %s:%d: %s\n",   \
+                     __FILE__, __LINE__, (message));                 \
+      ::std::abort();                                                \
+    }                                                                \
+  } while (false)
+
 #endif  // WATTER_COMMON_STATUS_H_

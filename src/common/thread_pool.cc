@@ -44,23 +44,26 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
     body(0, n);
     return;
   }
-  job_active_ = true;
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
     n_ = n;
     grain_ = grain;
     next_.store(0, std::memory_order_relaxed);
-    finished_workers_ = 0;
+    participants_ = 1;  // The driving thread joins its own job.
     first_error_ = nullptr;
     ++job_id_;
+    job_active_ = true;
   }
   work_cv_.notify_all();
   RunChunks();  // The caller is a full participant.
+  // Chunk-claim completion: the job ends when the range is drained (the
+  // caller's RunChunks return guarantees that) and every thread that joined
+  // has left. Workers that never woke simply never joined — the job does
+  // not wait for them.
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] {
-    return finished_workers_ == static_cast<int>(workers_.size());
-  });
+  --participants_;
+  done_cv_.wait(lock, [this] { return participants_ == 0; });
   body_ = nullptr;
   job_active_ = false;
   if (first_error_) std::rethrow_exception(first_error_);
@@ -92,14 +95,17 @@ void ThreadPool::WorkerLoop() {
       work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen_job; });
       if (stop_) return;
       seen_job = job_id_;
+      // A worker waking after the job already completed must not join it:
+      // the body reference may be gone. job_active_ flips false under this
+      // mutex exactly when the last participant leaves.
+      if (!job_active_) continue;
+      ++participants_;
     }
     RunChunks();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++finished_workers_;
-      if (finished_workers_ == static_cast<int>(workers_.size())) {
-        done_cv_.notify_all();
-      }
+      --participants_;
+      if (participants_ == 0) done_cv_.notify_all();
     }
   }
 }

@@ -21,11 +21,13 @@
 // on the driving thread — run inline (serially); the pool never deadlocks
 // on re-entry. One thread drives the pool at a time.
 //
-// Known cost: every job waits for every worker to check in, even workers
-// that claim no chunk — that acknowledgement is what keeps the job's body
-// reference alive, so a late waker can never touch a dead job. This makes
-// per-job latency proportional to thread wake-up time; keep jobs coarse
-// (one check round's refresh, one insert's candidate sweep), not per-item.
+// Completion is chunk-claim based: a job is done when its index range is
+// drained and every thread that *entered* the job has left it. Workers that
+// wake too late to claim a chunk never join the job at all — they observe
+// `job_active_ == false` under the mutex and go back to sleep without
+// touching the (by then possibly destroyed) body. Small fan-outs therefore
+// pay only the wake-up latency of the threads that actually participate,
+// not a full-pool acknowledgement barrier per job.
 #ifndef WATTER_COMMON_THREAD_POOL_H_
 #define WATTER_COMMON_THREAD_POOL_H_
 
@@ -87,13 +89,14 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // Signals a new job (or shutdown).
-  std::condition_variable done_cv_;   // Signals all workers done with a job.
+  std::condition_variable done_cv_;   // Signals the last participant leaving.
   bool stop_ = false;
   uint64_t job_id_ = 0;               // Bumped per ParallelFor; wakes workers.
-  int finished_workers_ = 0;          // Workers done with the current job.
+  int participants_ = 0;              // Threads currently inside the job.
   // True while the driving thread has a job in flight; a ParallelFor called
-  // from inside a body on that thread then runs inline. The pool supports
-  // one driving thread at a time (the simulation main loop).
+  // from inside a body on that thread then runs inline, and late-waking
+  // workers use it to tell a live job from one that already completed. The
+  // pool supports one driving thread at a time (the simulation main loop).
   bool job_active_ = false;
 
   // Current job (valid while a ParallelFor is in flight).

@@ -33,6 +33,15 @@ bool BestGroupMap::NeedsRefresh(OrderId id, Time now) const {
   return false;
 }
 
+const BestGroup* BestGroupMap::PeekBest(OrderId id, Time now) const {
+  if (!graph_->Contains(id)) return nullptr;
+  if (dirty_.count(id) > 0) return nullptr;  // Stale — caller must refresh.
+  auto it = best_.find(id);
+  if (it == best_.end()) return nullptr;
+  if (it->second.plan.latest_departure < now) return nullptr;
+  return &it->second;
+}
+
 const BestGroup* BestGroupMap::BestFor(OrderId id, Time now) {
   if (!graph_->Contains(id)) return nullptr;
   if (NeedsRefresh(id, now)) Recompute(id, now);

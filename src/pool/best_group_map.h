@@ -83,6 +83,13 @@ class BestGroupMap {
   /// (not even serving it alone) or is unknown.
   const BestGroup* BestFor(OrderId id, Time now);
 
+  /// Pure cached lookup: the best group of `id` if its entry is fresh
+  /// (clean, unexpired) at `now`, else nullptr. Never recomputes, never
+  /// mutates — safe to call concurrently from the batched propose phase.
+  /// After RefreshMany over the live ids, PeekBest and BestFor agree for
+  /// every refreshed id until the graph next changes.
+  const BestGroup* PeekBest(OrderId id, Time now) const;
+
   /// Forces recomputation of `id` at `now` (used by tests/benches).
   void Recompute(OrderId id, Time now);
 

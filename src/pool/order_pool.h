@@ -6,6 +6,7 @@
 #ifndef WATTER_POOL_ORDER_POOL_H_
 #define WATTER_POOL_ORDER_POOL_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "src/common/thread_pool.h"
@@ -69,6 +70,13 @@ class OrderPool {
     return best_.BestFor(id, now);
   }
 
+  /// Pure cached best-group lookup (see BestGroupMap::PeekBest): never
+  /// recomputes, safe for concurrent reads. The batched dispatch engine
+  /// proposes offers against this frozen view after RefreshBestGroups.
+  const BestGroup* PeekBest(OrderId id, Time now) const {
+    return best_.PeekBest(id, now);
+  }
+
   /// Refreshes the stale best groups of `ids` in one (possibly parallel)
   /// batch so the platform's serial decision loop hits a warm cache. Pass
   /// `ids` sorted: the commit order follows it deterministically.
@@ -79,6 +87,14 @@ class OrderPool {
   const Order* GetOrder(OrderId id) const { return graph_.GetOrder(id); }
   bool Contains(OrderId id) const { return graph_.Contains(id); }
   std::vector<OrderId> OrderIds() const { return graph_.OrderIds(); }
+
+  /// Pooled order ids in ascending (arrival) order — the canonical frozen
+  /// work list of both dispatch engines' check rounds.
+  std::vector<OrderId> SortedOrderIds() const {
+    std::vector<OrderId> ids = graph_.OrderIds();
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
   size_t size() const { return graph_.size(); }
 
   const ShareabilityGraph& graph() const { return graph_; }

@@ -24,7 +24,8 @@ void Fleet::ReleaseUntil(Time now) {
 }
 
 WorkerId Fleet::FindClosestIdle(NodeId target, int min_capacity,
-                                TravelTimeOracle* oracle, int candidates) {
+                                TravelTimeOracle* oracle,
+                                int candidates) const {
   auto nearby = idle_index_.KNearest(
       candidates, graph_->node_point(target),
       [this, min_capacity](int64_t id) {
@@ -57,15 +58,38 @@ std::vector<WorkerId> Fleet::IdleWorkerIds() const {
   return ids;
 }
 
-void Fleet::Dispatch(WorkerId id, Time until, NodeId final_node) {
+bool Fleet::TryClaim(WorkerId id) {
+  // A worker is claimable exactly while it sits in the idle index: driving
+  // workers left it in CommitClaim, claimed ones in a previous TryClaim.
+  if (!idle_index_.Contains(id)) return false;
+  WATTER_CHECK_OK(idle_index_.Remove(id));
+  workers_[id - 1].busy = true;
+  claimed_.insert(id);
+  return true;
+}
+
+void Fleet::CommitClaim(WorkerId id, Time until, NodeId final_node) {
+  // Committing an unclaimed worker means the commit pass and the fleet
+  // state diverged.
+  WATTER_CHECK(claimed_.erase(id) == 1, "commit of unclaimed worker");
   Worker& worker = workers_[id - 1];
-  worker.busy = true;
   worker.available_at = until;
   worker.location = final_node;
-  // The worker leaves the idle index while driving; Dispatch is only called
-  // for workers FindClosestIdle returned, so it must be present.
-  WATTER_CHECK_OK(idle_index_.Remove(id));
   busy_.push({until, id});
+}
+
+void Fleet::ReleaseClaim(WorkerId id) {
+  WATTER_CHECK(claimed_.erase(id) == 1, "release of unclaimed worker");
+  Worker& worker = workers_[id - 1];
+  worker.busy = false;
+  idle_index_.Insert(id, graph_->node_point(worker.location));
+}
+
+void Fleet::Dispatch(WorkerId id, Time until, NodeId final_node) {
+  // Dispatch is only called for workers FindClosestIdle returned, so the
+  // claim must succeed.
+  WATTER_CHECK(TryClaim(id), "dispatch of non-idle worker");
+  CommitClaim(id, until, final_node);
 }
 
 }  // namespace watter

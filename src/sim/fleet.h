@@ -9,6 +9,7 @@
 #define WATTER_SIM_FLEET_H_
 
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/types.h"
@@ -30,12 +31,27 @@ class Fleet {
 
   /// Returns the idle worker closest (by travel time to `target`) among the
   /// `candidates` nearest by Euclidean distance, with capacity >=
-  /// `min_capacity`; kInvalidWorker if none qualifies.
+  /// `min_capacity`; kInvalidWorker if none qualifies. Pure read: safe to
+  /// call concurrently (the batched propose phase probes the frozen idle
+  /// set in parallel) as long as `oracle` is thread-safe — all are.
   WorkerId FindClosestIdle(NodeId target, int min_capacity,
-                           TravelTimeOracle* oracle, int candidates = 8);
+                           TravelTimeOracle* oracle, int candidates = 8) const;
 
-  /// Marks `id` busy until `until`, finishing at `final_node`. The worker
-  /// must currently be idle.
+  /// Two-phase dispatch, used by the batched commit pass (docs/DISPATCH.md):
+  ///
+  ///   TryClaim(w)          reserve an idle worker; later probes skip it
+  ///   CommitClaim(w, ...)  finalize: busy until `until` at `final_node`
+  ///   ReleaseClaim(w)      roll back an unfinalized claim; idle again
+  ///
+  /// TryClaim returns false when the worker is not currently idle (claimed
+  /// or driving) — the caller's offer then loses the worker-contention
+  /// conflict. Claims are serial-phase only; they are not thread-safe.
+  bool TryClaim(WorkerId id);
+  void CommitClaim(WorkerId id, Time until, NodeId final_node);
+  void ReleaseClaim(WorkerId id);
+
+  /// One-shot claim + commit for the serial dispatch path. The worker must
+  /// currently be idle.
   void Dispatch(WorkerId id, Time until, NodeId final_node);
 
   const Worker& worker(WorkerId id) const { return workers_[id - 1]; }
@@ -60,6 +76,8 @@ class Fleet {
   std::priority_queue<BusyEntry, std::vector<BusyEntry>,
                       std::greater<BusyEntry>>
       busy_;
+  // Workers claimed but not yet committed/released (commit-pass state).
+  std::unordered_set<WorkerId> claimed_;
 };
 
 }  // namespace watter

@@ -90,10 +90,18 @@ bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
                              options_.worker_candidates);
   if (worker_id == kInvalidWorker) return false;
 
+  // Claim-validate-commit (the same two-phase protocol the batched commit
+  // pass uses): reserve the worker, roll the claim back if the exact
+  // pickup leg turns out unreachable.
+  WATTER_CHECK(fleet_.TryClaim(worker_id),
+               "serial dispatch: closest idle worker not claimable");
   const Worker& worker = fleet_.worker(worker_id);
   double pickup_delay =
       scenario_->oracle->Cost(worker.location, first_stop);
-  if (pickup_delay == kInfCost) return false;
+  if (pickup_delay == kInfCost) {
+    fleet_.ReleaseClaim(worker_id);
+    return false;
+  }
 
   // Record outcomes per member (response = notification wait, Definition 4;
   // detour per Definition 5).
@@ -109,8 +117,8 @@ bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
   }
   metrics_.AddWorkerTravel(pickup_delay + plan.total_cost);
   NodeId final_node = plan.route.stops.back().node;
-  fleet_.Dispatch(worker_id, now + pickup_delay + plan.total_cost,
-                  final_node);
+  fleet_.CommitClaim(worker_id, now + pickup_delay + plan.total_cost,
+                     final_node);
   for (const Order* member : members) {
     RemoveFromIndexes(*member);
     WATTER_CHECK_OK(pool_.Remove(member->id));
@@ -129,13 +137,12 @@ void WatterPlatform::RunCheck(Time now) {
   PoolContext context{&demand_pickup_counts_, &demand_dropoff_counts_,
                       &supply_counts_};
 
-  std::vector<OrderId> ids = pool_.OrderIds();
-  std::sort(ids.begin(), ids.end());  // Deterministic, arrival-ordered.
+  std::vector<OrderId> ids = pool_.SortedOrderIds();  // Arrival-ordered.
 
   // Phase A: recompute every stale best group in parallel against the
-  // frozen graph. The serial decision loop below then runs against a warm
-  // cache; groups invalidated by this round's own dispatches are lazily
-  // recomputed in-loop, exactly as in the serial algorithm.
+  // frozen graph. The decision phase below then runs against a warm cache;
+  // in serial mode, groups invalidated by this round's own dispatches are
+  // lazily recomputed in-loop, exactly as in the serial algorithm.
   //
   // This phase runs at EVERY thread count, including 1 — do not "optimize"
   // it away in serial mode. A lazy recompute at loop position sees the
@@ -146,9 +153,20 @@ void WatterPlatform::RunCheck(Time now) {
   // and is what makes the determinism contract unconditional.
   pool_.RefreshBestGroups(ids, now);
 
-  // Phase B: the sequential decision/dispatch loop. This stays serial on
-  // purpose — each dispatch consumes workers and removes partner orders,
-  // which changes the problem every later order sees.
+  // Phase B: the decision/dispatch phase, in the configured engine.
+  if (options_.dispatch == DispatchMode::kBatched) {
+    RunDecisionLoopBatched(ids, now, context);
+  } else {
+    RunDecisionLoopSerial(ids, now, context);
+  }
+}
+
+void WatterPlatform::RunDecisionLoopSerial(const std::vector<OrderId>& ids,
+                                           Time now,
+                                           const PoolContext& context) {
+  // The sequential decision/dispatch loop. Each dispatch consumes workers
+  // and removes partner orders, which changes the problem every later order
+  // sees — that chained re-evaluation is this engine's semantics.
   for (OrderId id : ids) {
     if (!pool_.Contains(id)) continue;  // Dispatched earlier this round.
     const Order* order = pool_.GetOrder(id);
@@ -211,6 +229,175 @@ void WatterPlatform::RunCheck(Time now) {
       } else {
         Observe(order_copy, now, /*action=*/0, /*expired=*/false, 0.0);
       }
+    }
+  }
+}
+
+DispatchOffer WatterPlatform::ProposeOffer(
+    OrderId id, Time now,
+    const std::unordered_map<OrderId, double>& thresholds) {
+  // Pure against frozen state: reads the pool caches (PeekBest, GetOrder),
+  // the idle fleet, and the oracle; mutates nothing. Runs concurrently for
+  // distinct ids in the propose phase.
+  DispatchOffer offer;
+  offer.anchor = id;
+  const Order* order = pool_.GetOrder(id);
+  if (order == nullptr) return offer;
+
+  const BestGroup* group = pool_.PeekBest(id, now);
+  int riders = 0;
+  if (group != nullptr) {
+    std::vector<const Order*> members;
+    std::vector<double> member_thresholds;
+    members.reserve(group->members.size());
+    member_thresholds.reserve(group->members.size());
+    for (OrderId member : group->members) {
+      const Order* m = pool_.GetOrder(member);
+      auto it = thresholds.find(member);
+      if (m == nullptr || it == thresholds.end()) return offer;
+      members.push_back(m);
+      member_thresholds.push_back(it->second);
+      riders += m->riders;
+    }
+    bool go = DecideGroupDispatchPrecomputed(*group, members,
+                                             member_thresholds, now,
+                                             pool_.options().weights);
+    // Feasibility-forced dispatch: holding past the next check would let
+    // the group expire (same rule as the serial engine).
+    if (!go && group->plan.latest_departure < now + options_.check_period) {
+      go = true;
+    }
+    if (!go) return offer;
+    offer.members = group->members;
+    offer.plan = group->plan;  // Copy: survives this round's pool removals.
+  } else {
+    // Solo fallback as an offer, with the serial engine's eligibility: the
+    // watching window elapsed — or feasibility is about to — without a
+    // shared group, and a rejection is not yet due.
+    if (!options_.solo_fallback) return offer;
+    if (now > order->LatestDispatch()) return offer;  // Sweep will reject.
+    if (!(now > order->WaitDeadline() ||
+          now + options_.check_period > order->LatestDispatch())) {
+      return offer;
+    }
+    auto solo = pool_.planner().PlanBest({order}, now,
+                                         pool_.options().capacity);
+    if (!solo.ok()) return offer;
+    offer.solo = true;
+    offer.members = {id};
+    offer.plan = std::move(solo).value();
+    riders = order->riders;
+  }
+
+  // Bind the closest capacity-feasible idle worker; no worker, no bid.
+  NodeId first_stop = offer.plan.route.stops.front().node;
+  WorkerId worker_id =
+      fleet_.FindClosestIdle(first_stop, riders, scenario_->oracle.get(),
+                             options_.worker_candidates);
+  if (worker_id == kInvalidWorker) return offer;
+  double pickup_delay =
+      scenario_->oracle->Cost(fleet_.worker(worker_id).location, first_stop);
+  if (pickup_delay == kInfCost) return offer;
+  offer.worker = worker_id;
+  offer.pickup_delay = pickup_delay;
+  offer.cost = pickup_delay + offer.plan.total_cost;
+  return offer;
+}
+
+void WatterPlatform::CommitOffer(const DispatchOffer& offer, Time now) {
+  // ResolveOffers guaranteed the worker unclaimed and every member still
+  // pooled, and the fleet only changes through committed offers, so the
+  // claim must succeed; a failure means resolution and fleet diverged.
+  WATTER_CHECK(fleet_.TryClaim(offer.worker),
+               "batched commit: offered worker not claimable");
+  for (size_t i = 0; i < offer.members.size(); ++i) {
+    const Order* member = pool_.GetOrder(offer.members[i]);
+    WATTER_CHECK(member != nullptr,
+                 "batched commit: dispatched member left the pool");
+    double response = now - member->release;
+    // Clamp: float rounding in matrix oracles can yield -1e-5 "detours".
+    double detour =
+        std::max(0.0, offer.plan.completion[i] - member->shortest_cost);
+    metrics_.RecordServed(*member, response, detour,
+                          static_cast<int>(offer.members.size()));
+    Observe(*member, now, /*action=*/1, /*expired=*/false, detour);
+  }
+  metrics_.AddWorkerTravel(offer.pickup_delay + offer.plan.total_cost);
+  fleet_.CommitClaim(offer.worker,
+                     now + offer.pickup_delay + offer.plan.total_cost,
+                     offer.plan.route.stops.back().node);
+  for (OrderId member : offer.members) {
+    const Order* m = pool_.GetOrder(member);
+    RemoveFromIndexes(*m);
+    WATTER_CHECK_OK(pool_.Remove(member));
+  }
+}
+
+void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
+                                            Time now,
+                                            const PoolContext& context) {
+  // Serial prologue: thresholds for every order appearing in some cached
+  // best group. Providers are stateful (memo tables, feature scratch), so
+  // they are queried once per member here, in ascending id order, and the
+  // parallel propose phase below reads only this immutable map.
+  std::vector<OrderId> member_ids;
+  for (OrderId id : ids) {
+    const BestGroup* group = pool_.PeekBest(id, now);
+    if (group == nullptr) continue;
+    member_ids.insert(member_ids.end(), group->members.begin(),
+                      group->members.end());
+  }
+  std::sort(member_ids.begin(), member_ids.end());
+  member_ids.erase(std::unique(member_ids.begin(), member_ids.end()),
+                   member_ids.end());
+  std::unordered_map<OrderId, double> thresholds;
+  thresholds.reserve(member_ids.size());
+  for (OrderId member : member_ids) {
+    const Order* order = pool_.GetOrder(member);
+    if (order == nullptr) continue;
+    thresholds.emplace(member, provider_->ThresholdFor(*order, now, context));
+  }
+
+  // Parallel propose: one offer slot per pooled order, each a pure function
+  // of the frozen pool/fleet/threshold state (ordered-map pattern, see
+  // thread_pool.h).
+  std::vector<DispatchOffer> offers;
+  executor_.ParallelMap(ids.size(), 4, &offers, [&](size_t i) {
+    return ProposeOffer(ids[i], now, thresholds);
+  });
+
+  // Drop the non-bids, then resolve conflicts in the sorted-offers total
+  // order and commit the winners serially. The outcome sequence is a pure
+  // function of the offer set, hence of the frozen round state — never of
+  // the thread count.
+  offers.erase(std::remove_if(offers.begin(), offers.end(),
+                              [](const DispatchOffer& offer) {
+                                return offer.worker == kInvalidWorker;
+                              }),
+               offers.end());
+  std::vector<OfferOutcome> outcomes = ResolveOffers(&offers);
+  for (size_t i = 0; i < offers.size(); ++i) {
+    if (outcomes[i] == OfferOutcome::kCommitted) CommitOffer(offers[i], now);
+  }
+
+  // Serial post-sweep in ascending id order over the orders that did not
+  // dispatch: hazard cancellation (the RNG draws happen here, serially, so
+  // the sequence is thread-count-invariant), rejection once no feasible
+  // service remains, and wait observations for everyone else.
+  for (OrderId id : ids) {
+    if (!pool_.Contains(id)) continue;  // Dispatched this round.
+    const Order order_copy = *pool_.GetOrder(id);
+    if (options_.cancellation_hazard > 0.0 &&
+        now > order_copy.WaitDeadline() &&
+        rng_.Bernoulli(1.0 - std::exp(-options_.cancellation_hazard *
+                                      options_.check_period))) {
+      RejectOrder(order_copy, now);
+      continue;
+    }
+    if (now > order_copy.LatestDispatch()) {
+      RejectOrder(order_copy, now);
+    } else {
+      Observe(order_copy, now, /*action=*/0, /*expired=*/false, 0.0);
     }
   }
 }

@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -33,6 +34,22 @@
 #include "src/workload/scenario.h"
 
 namespace watter {
+
+/// How a check round turns warm best-group caches into dispatches.
+enum class DispatchMode {
+  /// The paper-faithful sequential decision loop: orders are visited in
+  /// arrival order and every dispatch immediately reshapes what later
+  /// orders see (lazy regrouping, worker consumption).
+  kSerial,
+  /// The batched engine (docs/DISPATCH.md): candidate offers are computed
+  /// in parallel against frozen pool/fleet state, then committed in one
+  /// serial pass over offers sorted by (cost, anchor, worker) with explicit
+  /// conflict resolution — the KIT sorted-offers scheme. Results are
+  /// bitwise identical across thread counts, but intentionally differ from
+  /// kSerial (different, globally-ranked commit order); the flag exists for
+  /// exactly that A/B comparison.
+  kBatched,
+};
 
 /// Simulation configuration.
 struct SimOptions {
@@ -60,6 +77,10 @@ struct SimOptions {
   /// serial, negative = all hardware threads). Metrics and dispatch
   /// decisions are bitwise identical for any value (see thread_pool.h).
   int num_threads = 0;
+  /// Dispatch engine for the decision phase of each check round. Serial is
+  /// the default (pre-batching behavior, bit-for-bit); kBatched moves the
+  /// per-round decisions onto the thread pool (CLI `--dispatch=batched`).
+  DispatchMode dispatch = DispatchMode::kSerial;
 };
 
 /// One observed per-order decision; the RL trainer consumes these to build
@@ -98,6 +119,23 @@ class WatterPlatform {
  private:
   void InsertArrival(const Order& order, Time now);
   void RunCheck(Time now);
+  /// The sequential decision/dispatch loop (DispatchMode::kSerial).
+  void RunDecisionLoopSerial(const std::vector<OrderId>& ids, Time now,
+                             const PoolContext& context);
+  /// The batched engine (DispatchMode::kBatched): parallel offer propose,
+  /// sorted-offers conflict resolution, serial commit, serial post-sweep.
+  void RunDecisionLoopBatched(const std::vector<OrderId>& ids, Time now,
+                              const PoolContext& context);
+  /// Pure propose step for one order against frozen pool/fleet state:
+  /// returns an offer with a bound worker, or worker == kInvalidWorker when
+  /// the order makes no dispatch bid this round. `thresholds` carries the
+  /// serially precomputed theta per pooled order.
+  DispatchOffer ProposeOffer(
+      OrderId id, Time now,
+      const std::unordered_map<OrderId, double>& thresholds);
+  /// Commits one resolved offer: claims its worker, records metrics, and
+  /// removes the members from the pool.
+  void CommitOffer(const DispatchOffer& offer, Time now);
   /// Attempts to dispatch `members` on `plan`; true on success.
   bool TryDispatch(const std::vector<const Order*>& members,
                    const GroupPlan& plan, Time now);

@@ -1,9 +1,14 @@
-// Algorithm 2: the average extra-time threshold-based grouping strategy.
+// Algorithm 2 (the average extra-time threshold-based grouping strategy)
+// and the batched dispatch offer machinery (docs/DISPATCH.md): offer
+// generation is split from the commit so a check round can propose offers
+// in parallel and resolve conflicts in one deterministic sorted pass — the
+// KIT sorted-offers scheme.
 #ifndef WATTER_STRATEGY_DECISION_H_
 #define WATTER_STRATEGY_DECISION_H_
 
 #include <vector>
 
+#include "src/core/route_planner.h"
 #include "src/core/types.h"
 #include "src/pool/best_group_map.h"
 #include "src/strategy/threshold_provider.h"
@@ -33,6 +38,53 @@ bool DecideGroupDispatch(const BestGroup& group,
                          const ExtraTimeWeights& weights,
                          ThresholdProvider* provider,
                          const PoolContext& context);
+
+/// Algorithm 2 with member thresholds precomputed by the caller. The
+/// batched engine queries the (stateful, non-thread-safe) provider once per
+/// member in the serial prologue, then evaluates decisions in the parallel
+/// propose phase through this pure variant. `thresholds[i]` is theta for
+/// `members[i]`.
+bool DecideGroupDispatchPrecomputed(const BestGroup& group,
+                                    const std::vector<const Order*>& members,
+                                    const std::vector<double>& thresholds,
+                                    Time now,
+                                    const ExtraTimeWeights& weights);
+
+/// One candidate dispatch of a check round: a group (or solo order) bound
+/// to a concrete worker, with the cost that ranks it in the commit pass.
+/// Offers are produced in parallel against frozen pool and fleet state;
+/// `anchor` (the proposing pooled order) is unique per offer and is what
+/// makes the sort below a total order.
+struct DispatchOffer {
+  OrderId anchor = kInvalidOrder;
+  std::vector<OrderId> members;     ///< Sorted; includes the anchor.
+  WorkerId worker = kInvalidWorker;
+  double pickup_delay = 0.0;        ///< Worker location -> first stop.
+  double cost = 0.0;                ///< Ranking key: pickup delay + route.
+  bool solo = false;                ///< Timeout solo fallback, not a group.
+  GroupPlan plan;                   ///< Copied: survives pool mutation.
+};
+
+/// The sorted-offers total order: cheapest first; ties broken by anchor id
+/// then worker id. Anchor ids are unique within a round, so the order is
+/// total and the sorted sequence — hence the whole commit pass — is
+/// independent of the (thread-count-dependent) propose completion order.
+bool OfferBefore(const DispatchOffer& a, const DispatchOffer& b);
+
+/// Outcome of conflict resolution for one offer.
+enum class OfferOutcome {
+  kCommitted,       ///< Won its worker and all its members.
+  kWorkerConflict,  ///< Worker already claimed by a cheaper offer.
+  kOrderConflict,   ///< Some member already dispatched by a cheaper offer.
+};
+
+/// The deterministic commit-pass core: sorts `offers` in place by
+/// OfferBefore, then greedily accepts each offer whose worker is still
+/// unclaimed and whose members are all still undispatched. Returns one
+/// outcome per offer, aligned with the *sorted* order. Pure — the platform
+/// applies kCommitted outcomes to the real fleet/pool, and the table-driven
+/// conflict tests exercise this function directly.
+std::vector<OfferOutcome> ResolveOffers(std::vector<DispatchOffer>* offers);
 
 }  // namespace watter
 

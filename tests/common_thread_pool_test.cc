@@ -85,6 +85,45 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
+TEST(ThreadPoolTest, ChunkClaimCompletionHasNoCrossJobInterference) {
+  // Chunk-claim completion lets a job finish before every worker has woken;
+  // a worker waking late must never run a previous job's body. Hammer the
+  // pool with many back-to-back jobs, each writing a distinct stamp into
+  // its own buffer: any late waker touching a dead or wrong body would
+  // corrupt an earlier buffer (and trip TSan on the dangling reference).
+  ThreadPool pool(8);
+  constexpr int kJobs = 500;
+  constexpr size_t kItems = 37;  // Odd small size: most workers wake late.
+  std::vector<std::vector<int>> buffers(kJobs, std::vector<int>(kItems, -1));
+  for (int job = 0; job < kJobs; ++job) {
+    auto& buffer = buffers[job];
+    pool.ParallelFor(kItems, 2, [&buffer, job](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) buffer[i] = job;
+    });
+  }
+  for (int job = 0; job < kJobs; ++job) {
+    for (size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(buffers[job][i], job) << "job=" << job << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SmallJobsCompleteWithoutFullPoolSync) {
+  // A 1-chunk job must complete even if no worker ever claims a chunk (the
+  // caller drains the range alone). Before chunk-claim completion this
+  // still worked but paid a full-pool acknowledgement; now it must also be
+  // correct when jobs alternate with ranges too small for most workers.
+  ThreadPool pool(8);
+  std::atomic<int64_t> total{0};
+  for (int job = 0; job < 1000; ++job) {
+    pool.ParallelFor(3, 1, [&](size_t begin, size_t end) {
+      total.fetch_add(static_cast<int64_t>(end - begin),
+                      std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 3000);
+}
+
 TEST(ThreadPoolTest, PropagatesFirstException) {
   ThreadPool pool(4);
   EXPECT_THROW(

@@ -4,13 +4,18 @@
 // machine: the platform's parallel check loop and pool maintenance promise
 // bitwise-identical results for any thread count (thread_pool.h, determinism
 // contract). This suite runs the same scenario at 1, 2 and 8 threads across
-// several RNG seeds and asserts the metric reports and the exact
-// served/expired order sets match the 1-thread reference bit for bit.
-// Wall-clock fields (algorithm_seconds, running_time_per_order) are the one
-// intentional exclusion.
+// several RNG seeds — in BOTH dispatch engines (serial loop and the batched
+// sorted-offers engine, docs/DISPATCH.md) — and asserts the metric reports
+// and the exact served/expired order sets match the 1-thread reference bit
+// for bit within each engine. Wall-clock fields (algorithm_seconds,
+// running_time_per_order) are the one intentional exclusion. The two
+// engines intentionally differ from each other (globally-ranked vs chained
+// commit order); no cross-engine equality is asserted.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/core/metrics.h"
@@ -40,7 +45,7 @@ WorkloadOptions DeterminismWorkload(uint64_t seed) {
 }
 
 RunOutcome RunWithThreads(uint64_t seed, int num_threads,
-                          double cancellation_hazard) {
+                          double cancellation_hazard, DispatchMode dispatch) {
   auto scenario = GenerateScenario(DeterminismWorkload(seed));
   EXPECT_TRUE(scenario.ok()) << scenario.status().ToString();
   if (!scenario.ok()) return {};
@@ -48,6 +53,7 @@ RunOutcome RunWithThreads(uint64_t seed, int num_threads,
   SimOptions options;
   options.num_threads = num_threads;
   options.cancellation_hazard = cancellation_hazard;
+  options.dispatch = dispatch;
   WatterPlatform platform(&*scenario, &provider, options);
   RunOutcome outcome;
   platform.set_observer([&outcome](const DecisionObservation& obs) {
@@ -84,32 +90,66 @@ void ExpectIdentical(const RunOutcome& reference, const RunOutcome& candidate,
   EXPECT_EQ(reference.expired, candidate.expired);
 }
 
-class ParallelDeterminismTest : public testing::TestWithParam<uint64_t> {};
+// Parameterized over (seed, dispatch engine): each engine must be a pure
+// function of the scenario at every thread count.
+class ParallelDeterminismTest
+    : public testing::TestWithParam<std::tuple<uint64_t, DispatchMode>> {
+ protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  DispatchMode dispatch() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(ParallelDeterminismTest, MetricsIdenticalAcrossThreadCounts) {
-  RunOutcome reference = RunWithThreads(GetParam(), 1, 0.0);
+  RunOutcome reference = RunWithThreads(seed(), 1, 0.0, dispatch());
   // A nontrivial run, or the comparison proves nothing.
   ASSERT_GT(reference.report.served, 0);
   ASSERT_FALSE(reference.served.empty());
   for (int threads : {2, 8}) {
-    ExpectIdentical(reference, RunWithThreads(GetParam(), threads, 0.0),
+    ExpectIdentical(reference,
+                    RunWithThreads(seed(), threads, 0.0, dispatch()),
                     threads);
   }
 }
 
 TEST_P(ParallelDeterminismTest, CancellationRandomnessIsThreadInvariant) {
   // Rider impatience draws from the platform RNG; the draws happen in the
-  // serial decision phase, so the sequence must not depend on thread count.
-  RunOutcome reference = RunWithThreads(GetParam(), 1, 0.01);
+  // serial phase of either engine (the decision loop, or the batched
+  // post-commit sweep), so the sequence must not depend on thread count.
+  RunOutcome reference = RunWithThreads(seed(), 1, 0.01, dispatch());
   ASSERT_GT(reference.report.served, 0);
   for (int threads : {2, 8}) {
-    ExpectIdentical(reference, RunWithThreads(GetParam(), threads, 0.01),
+    ExpectIdentical(reference,
+                    RunWithThreads(seed(), threads, 0.01, dispatch()),
                     threads);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,
-                         testing::Values(7, 1234, 990017));
+TEST(BatchedDispatchTest, EveryOrderAccountedAndComparableToSerial) {
+  // Sanity on the engine itself (beyond thread invariance): all orders are
+  // served or rejected exactly once, and the batched engine stays in the
+  // same quality regime as the serial loop on a nontrivial workload.
+  RunOutcome serial = RunWithThreads(7, 2, 0.0, DispatchMode::kSerial);
+  RunOutcome batched = RunWithThreads(7, 2, 0.0, DispatchMode::kBatched);
+  EXPECT_EQ(batched.report.served + batched.report.rejected,
+            serial.report.served + serial.report.rejected);
+  ASSERT_GT(batched.report.served, 0);
+  EXPECT_GT(batched.report.service_rate,
+            0.8 * serial.report.service_rate);
+}
+
+std::string CaseName(
+    const testing::TestParamInfo<std::tuple<uint64_t, DispatchMode>>& info) {
+  return (std::get<1>(info.param) == DispatchMode::kBatched ? "batched_s"
+                                                            : "serial_s") +
+         std::to_string(std::get<0>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ParallelDeterminismTest,
+    testing::Combine(testing::Values(7, 1234, 990017),
+                     testing::Values(DispatchMode::kSerial,
+                                     DispatchMode::kBatched)),
+    CaseName);
 
 }  // namespace
 }  // namespace watter

@@ -17,6 +17,10 @@
 //   --city-seed S [derived]       --duration HOURS [2]
 //   --threads T [1; 0 = all hardware threads] — parallelism of the check
 //   loop and pool maintenance; metrics are identical for any T.
+//   --dispatch serial|batched [serial] — decision engine of the WATTER
+//   strategies (docs/DISPATCH.md): the paper-faithful sequential loop, or
+//   the batched sorted-offers engine whose per-round decisions also run on
+//   the thread pool. Either engine is deterministic for any --threads.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +45,7 @@ using namespace watter;
 struct CliArgs {
   std::string command;
   WorkloadOptions workload;
+  SimOptions sim;
   std::string strategy = "online";
   std::string model_path;
   std::string out_dir = ".";
@@ -60,7 +65,8 @@ struct CliArgs {
                "--workers M\n"
                "                  --tau X --eta X --capacity K --seed S\n"
                "                  --city-seed S --duration HOURS\n"
-               "                  --threads T (0 = all hardware threads)\n");
+               "                  --threads T (0 = all hardware threads)\n"
+               "                  --dispatch serial|batched\n");
   std::exit(2);
 }
 
@@ -111,6 +117,15 @@ CliArgs Parse(int argc, char** argv) {
       args.workload.duration = std::atof(need_value("--duration")) * 3600.0;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       args.workload.num_threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--dispatch") == 0) {
+      std::string mode = need_value("--dispatch");
+      if (mode == "serial") {
+        args.sim.dispatch = DispatchMode::kSerial;
+      } else if (mode == "batched") {
+        args.sim.dispatch = DispatchMode::kBatched;
+      } else {
+        Usage("unknown dispatch mode (serial|batched)");
+      }
     } else if (std::strcmp(argv[i], "--strategy") == 0) {
       args.strategy = need_value("--strategy");
     } else if (std::strcmp(argv[i], "--model") == 0) {
@@ -179,10 +194,10 @@ int Run(const CliArgs& args) {
   std::string name = args.strategy;
   if (args.strategy == "online") {
     OnlineThresholdProvider provider;
-    report = RunWatter(&*scenario, &provider);
+    report = RunWatter(&*scenario, &provider, args.sim);
   } else if (args.strategy == "timeout") {
     TimeoutThresholdProvider provider;
-    report = RunWatter(&*scenario, &provider);
+    report = RunWatter(&*scenario, &provider, args.sim);
   } else if (args.strategy == "gdp") {
     report = RunGdp(&*scenario);
   } else if (args.strategy == "gas") {
@@ -196,7 +211,7 @@ int Run(const CliArgs& args) {
     auto boot_scenario = GenerateScenario(boot);
     if (!boot_scenario.ok()) return 1;
     TimeoutThresholdProvider timeout;
-    WatterPlatform bootstrap(&*boot_scenario, &timeout, SimOptions{});
+    WatterPlatform bootstrap(&*boot_scenario, &timeout, args.sim);
     (void)bootstrap.Run();
     auto mixture = FitGmm(bootstrap.metrics().served_extra_times(),
                           {.num_components = 3, .seed = 11});
@@ -206,7 +221,7 @@ int Run(const CliArgs& args) {
       return 1;
     }
     GmmThresholdProvider provider(std::move(mixture).value());
-    report = RunWatter(&*scenario, &provider);
+    report = RunWatter(&*scenario, &provider, args.sim);
     name = "WATTER-gmm";
   } else {
     Usage("unknown strategy");
@@ -251,7 +266,7 @@ int Evaluate(const CliArgs& args) {
     return 1;
   }
   auto provider = model->MakeProvider();
-  MetricsReport report = RunWatter(&*scenario, provider.get());
+  MetricsReport report = RunWatter(&*scenario, provider.get(), args.sim);
   PrintReport("WATTER-expect", report);
   return 0;
 }
