@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   BenchJson().path = BenchJsonPath(argc, argv);
   BenchJson().threads = threads;
 
-  for (DatasetKind dataset : BenchDatasets(quick)) {
+  for (DatasetKind dataset : BenchDatasets(argc, argv, quick)) {
     WorkloadOptions base = BaseWorkload(dataset);
     base.num_threads = threads;
     std::unique_ptr<ExpectModel> model;

@@ -98,6 +98,52 @@ void BM_BestGroupRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_BestGroupRecompute);
 
+void BM_PoolDepartureChurn(benchmark::State& state) {
+  // Departure-heavy churn: a warm 150-order pool where every op removes the
+  // oldest resident (the OnOrderRemoved path), inserts a fresh order, and
+  // refreshes the stale best groups — the per-check-round maintenance
+  // shape. Dominated by how cheaply a departure dirties its owners and how
+  // much planning the refresh can reuse.
+  PoolFixture& fx = Fixture();
+  OrderPool pool(fx.oracle.get(), PoolOptions{});
+  constexpr int kResident = 150;
+  for (int i = 0; i < kResident; ++i) {
+    (void)pool.Insert(fx.orders[static_cast<size_t>(i)], 600.0);
+  }
+  pool.RefreshBestGroups(pool.SortedOrderIds(), 600.0);
+  size_t oldest = 0;
+  size_t next = kResident;
+  for (auto _ : state) {
+    (void)pool.Remove(fx.orders[oldest % fx.orders.size()].id);
+    ++oldest;
+    (void)pool.Insert(fx.orders[next % fx.orders.size()], 600.0);
+    ++next;
+    pool.RefreshBestGroups(pool.SortedOrderIds(), 600.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolDepartureChurn);
+
+void BM_PoolRepeatedAnchorRefresh(benchmark::State& state) {
+  // Repeated-anchor enumeration: every resident marked dirty and refreshed
+  // with no graph change in between — the work an unrelated dirty event
+  // used to force on its neighbors. With the shared group-plan cache the
+  // re-search reuses every previously planned clique.
+  PoolFixture& fx = Fixture();
+  OrderPool pool(fx.oracle.get(), PoolOptions{});
+  for (int i = 0; i < 150; ++i) {
+    (void)pool.Insert(fx.orders[static_cast<size_t>(i)], 600.0);
+  }
+  std::vector<OrderId> ids = pool.SortedOrderIds();
+  pool.RefreshBestGroups(ids, 600.0);
+  for (auto _ : state) {
+    for (OrderId id : ids) pool.best_groups().MarkDirty(id);
+    pool.RefreshBestGroups(ids, 600.0);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_PoolRepeatedAnchorRefresh);
+
 void BM_GmmFit(benchmark::State& state) {
   Rng rng(3);
   std::vector<double> data;

@@ -1,0 +1,245 @@
+// Pool-maintenance baseline driver: deterministic counter evidence plus
+// quick-size wall times for the incremental pool hot paths, written as the
+// committed BENCH_pool.json records (docs/PERFORMANCE.md).
+//
+// Three cases:
+//   fig3_quick_n1500_timeout  — the fig3-quick contended point end to end
+//       (CDC n=1500, m=150, WATTER-timeout), one record per dispatch engine.
+//       The planner_plans / plan_cache_* fields are the PR-acceptance
+//       counters: deterministic, so diffs are exact.
+//   micro_departure_churn     — departure-heavy OnOrderRemoved churn: remove
+//       and re-insert orders in a warm pool, refreshing best groups each
+//       step. Exercises the reverse-membership index.
+//   micro_repeated_anchor     — the same anchors recomputed over and over on
+//       an unchanged graph slice (the "unrelated dirty event" pattern).
+//       Exercises the shared group-plan cache.
+//
+// Counters are bitwise deterministic; the us/op fields are 1-core
+// shared-container wall clock — treat <20% deltas as noise
+// (docs/PERFORMANCE.md, noisy-box caveats).
+//
+// Usage: bench_pool_stats [--json FILE] [--label NAME]
+// CMake target `bench_pool_json` runs this with --json
+// ${CMAKE_BINARY_DIR}/BENCH_pool.json.
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/geo/city_generator.h"
+#include "src/pool/order_pool.h"
+
+namespace {
+
+using namespace watter;
+using namespace watter::bench;
+
+const char* g_label = "current";
+
+void EmitRecord(const std::string& body) {
+  BenchJson().records.push_back("{\"label\": \"" + std::string(g_label) +
+                                "\", " + body + "}");
+}
+
+std::string PoolCounterFields(const PoolStats& pool) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "\"planner_plans\": %lld, \"pair_tests\": %lld, "
+      "\"recomputes\": %lld, \"groups_evaluated\": %lld, "
+      "\"plan_cache_hits\": %lld, \"plan_cache_misses\": %lld, "
+      "\"plan_cache_replans\": %lld, \"plan_cache_evictions\": %lld, "
+      "\"reverse_index_fanout\": %lld",
+      static_cast<long long>(pool.planner_plans),
+      static_cast<long long>(pool.pair_tests),
+      static_cast<long long>(pool.best_group_recomputes),
+      static_cast<long long>(pool.groups_evaluated),
+      static_cast<long long>(pool.plan_cache_hits),
+      static_cast<long long>(pool.plan_cache_misses),
+      static_cast<long long>(pool.plan_cache_replans),
+      static_cast<long long>(pool.plan_cache_evictions),
+      static_cast<long long>(pool.reverse_index_fanout));
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Case 1: the fig3-quick contended point, end to end, per dispatch engine.
+// ---------------------------------------------------------------------------
+void RunEndToEnd(DispatchMode mode) {
+  WorkloadOptions workload = BaseWorkload(DatasetKind::kCdc);
+  auto scenario = GenerateScenario(workload);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 scenario.status().ToString().c_str());
+    std::exit(1);
+  }
+  TimeoutThresholdProvider provider;
+  SimOptions sim;
+  sim.dispatch = mode;
+  MetricsReport report = RunWatter(&*scenario, &provider, sim);
+
+  char body[512];
+  std::snprintf(
+      body, sizeof(body),
+      "\"case\": \"fig3_quick_n1500_timeout\", \"dispatch\": \"%s\", "
+      "\"served\": %lld, \"service_rate\": %.6g, "
+      "\"running_time_per_order_us\": %.3f, %s",
+      DispatchName(mode), static_cast<long long>(report.served),
+      report.service_rate, report.running_time_per_order * 1e6,
+      PoolCounterFields(report.pool).c_str());
+  EmitRecord(body);
+  std::printf("%-28s %-8s served=%lld plans=%lld us/order=%.1f\n",
+              "fig3_quick_n1500_timeout", DispatchName(mode),
+              static_cast<long long>(report.served),
+              static_cast<long long>(report.pool.planner_plans),
+              report.running_time_per_order * 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixture for the micro cases: a warm pool over a 32x32 city.
+// ---------------------------------------------------------------------------
+struct MicroFixture {
+  City city;
+  std::unique_ptr<TravelTimeOracle> oracle;
+  std::vector<Order> orders;
+
+  explicit MicroFixture(int num_orders) {
+    auto generated = GenerateCity({.width = 32, .height = 32, .seed = 3});
+    city = std::move(generated).value();
+    auto built = BuildOracle(city.graph, OracleKind::kMatrix);
+    oracle = std::move(built).value();
+    Rng rng(11);
+    for (OrderId id = 1; id <= num_orders; ++id) {
+      Order order;
+      order.id = id;
+      order.pickup = city.RandomNode(&rng);
+      do {
+        order.dropoff = city.RandomNode(&rng);
+      } while (order.dropoff == order.pickup);
+      order.riders = 1;
+      order.release = rng.Uniform(0, 600);
+      order.shortest_cost = oracle->Cost(order.pickup, order.dropoff);
+      order.deadline = order.release + 1.6 * order.shortest_cost;
+      order.wait_limit = 0.8 * order.shortest_cost;
+      orders.push_back(order);
+    }
+  }
+};
+
+PoolStats SnapshotCounters(OrderPool* pool) {
+  PoolStats stats;
+  stats.best_group_recomputes = pool->best_groups().recompute_count();
+  stats.groups_evaluated = pool->best_groups().groups_evaluated();
+  stats.planner_plans = pool->planner().plan_count();
+  stats.pair_tests = pool->graph().pair_tests();
+  stats.plan_cache_hits = pool->best_groups().plan_cache_hits();
+  stats.plan_cache_misses = pool->best_groups().plan_cache_misses();
+  stats.plan_cache_replans = pool->best_groups().plan_cache_replans();
+  stats.plan_cache_evictions = pool->best_groups().plan_cache_evictions();
+  stats.reverse_index_fanout = pool->best_groups().reverse_index_fanout();
+  return stats;
+}
+
+PoolStats CounterDelta(const PoolStats& after, const PoolStats& before) {
+  PoolStats delta;
+  delta.best_group_recomputes =
+      after.best_group_recomputes - before.best_group_recomputes;
+  delta.groups_evaluated = after.groups_evaluated - before.groups_evaluated;
+  delta.planner_plans = after.planner_plans - before.planner_plans;
+  delta.pair_tests = after.pair_tests - before.pair_tests;
+  delta.plan_cache_hits = after.plan_cache_hits - before.plan_cache_hits;
+  delta.plan_cache_misses = after.plan_cache_misses - before.plan_cache_misses;
+  delta.plan_cache_replans =
+      after.plan_cache_replans - before.plan_cache_replans;
+  delta.plan_cache_evictions =
+      after.plan_cache_evictions - before.plan_cache_evictions;
+  delta.reverse_index_fanout =
+      after.reverse_index_fanout - before.reverse_index_fanout;
+  return delta;
+}
+
+void EmitMicro(const char* name, int ops, double seconds,
+               const PoolStats& stats) {
+  char body[512];
+  std::snprintf(body, sizeof(body),
+                "\"case\": \"%s\", \"ops\": %d, \"us_per_op\": %.3f, %s",
+                name, ops, seconds * 1e6 / ops,
+                PoolCounterFields(stats).c_str());
+  EmitRecord(body);
+  std::printf("%-28s %-8s ops=%d plans=%lld us/op=%.1f\n", name, "-", ops,
+              static_cast<long long>(stats.planner_plans),
+              seconds * 1e6 / ops);
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: departure-heavy churn. Warm pool of 150 orders; each op removes
+// the oldest resident (OnOrderRemoved path), inserts a fresh order, and
+// refreshes every stale best group — the per-check-round maintenance shape.
+// ---------------------------------------------------------------------------
+void RunDepartureChurn() {
+  MicroFixture fx(450);
+  OrderPool pool(fx.oracle.get(), PoolOptions{});
+  constexpr int kResident = 150;
+  constexpr int kOps = 150;
+  for (int i = 0; i < kResident; ++i) {
+    (void)pool.Insert(fx.orders[static_cast<size_t>(i)], 600.0);
+  }
+  std::vector<OrderId> ids = pool.SortedOrderIds();
+  pool.RefreshBestGroups(ids, 600.0);  // Warm start outside the timed loop.
+
+  PoolStats before = SnapshotCounters(&pool);
+  Stopwatch watch;
+  {
+    ScopedTimer timer(&watch);
+    for (int op = 0; op < kOps; ++op) {
+      (void)pool.Remove(fx.orders[static_cast<size_t>(op)].id);
+      (void)pool.Insert(fx.orders[static_cast<size_t>(kResident + op)], 600.0);
+      std::vector<OrderId> live = pool.SortedOrderIds();
+      pool.RefreshBestGroups(live, 600.0);
+    }
+  }
+  PoolStats delta = CounterDelta(SnapshotCounters(&pool), before);
+  EmitMicro("micro_departure_churn", kOps, watch.ElapsedSeconds(), delta);
+}
+
+// ---------------------------------------------------------------------------
+// Case 3: repeated-anchor enumeration. A warm pool; the same anchor set is
+// marked dirty and recomputed repeatedly with no graph change in between —
+// the shape every unrelated dirty event used to force on its neighbors.
+// ---------------------------------------------------------------------------
+void RunRepeatedAnchor() {
+  MicroFixture fx(150);
+  OrderPool pool(fx.oracle.get(), PoolOptions{});
+  for (const Order& order : fx.orders) (void)pool.Insert(order, 600.0);
+  std::vector<OrderId> ids = pool.SortedOrderIds();
+  pool.RefreshBestGroups(ids, 600.0);  // Warm start.
+
+  constexpr int kRounds = 40;
+  PoolStats before = SnapshotCounters(&pool);
+  Stopwatch watch;
+  {
+    ScopedTimer timer(&watch);
+    for (int round = 0; round < kRounds; ++round) {
+      for (OrderId id : ids) pool.best_groups().MarkDirty(id);
+      pool.RefreshBestGroups(ids, 600.0);
+    }
+  }
+  PoolStats delta = CounterDelta(SnapshotCounters(&pool), before);
+  EmitMicro("micro_repeated_anchor",
+            kRounds * static_cast<int>(ids.size()), watch.ElapsedSeconds(),
+            delta);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchJson().path = BenchJsonPath(argc, argv);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--label") == 0) g_label = argv[i + 1];
+  }
+  RunEndToEnd(DispatchMode::kSerial);
+  RunEndToEnd(DispatchMode::kBatched);
+  RunDepartureChurn();
+  RunRepeatedAnchor();
+  return 0;
+}

@@ -58,18 +58,19 @@ inline const char* DispatchName(DispatchMode mode) {
 }
 
 /// Dispatch engines to sweep: `--dispatch serial|batched|both` or
-/// WATTER_BENCH_DISPATCH. Default runs the serial engine only; `both`
-/// produces the serial-vs-batched A/B the JSON baseline records.
+/// WATTER_BENCH_DISPATCH. Default runs the batched engine only (the
+/// platform default since the engine A/B); `both` produces the
+/// serial-vs-batched A/B the JSON baseline records.
 inline std::vector<DispatchMode> BenchDispatchModes(int argc, char** argv) {
   const char* value = nullptr;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--dispatch") == 0) value = argv[i + 1];
   }
   if (value == nullptr) value = std::getenv("WATTER_BENCH_DISPATCH");
-  if (value == nullptr || std::strcmp(value, "serial") == 0) {
-    return {DispatchMode::kSerial};
+  if (value == nullptr || std::strcmp(value, "batched") == 0) {
+    return {DispatchMode::kBatched};
   }
-  if (std::strcmp(value, "batched") == 0) return {DispatchMode::kBatched};
+  if (std::strcmp(value, "serial") == 0) return {DispatchMode::kSerial};
   if (std::strcmp(value, "both") == 0) {
     return {DispatchMode::kSerial, DispatchMode::kBatched};
   }
@@ -98,7 +99,7 @@ inline DispatchMode SingleDispatchMode(int argc, char** argv) {
 struct JsonSink {
   std::string path;
   int threads = 1;
-  const char* dispatch = "serial";
+  const char* dispatch = "batched";
   std::vector<std::string> records;
 
   ~JsonSink() { Flush(); }
@@ -261,21 +262,31 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
       results.back().push_back(algorithm.run(&*scenario));
       if (!BenchJson().path.empty()) {
         const MetricsReport& r = results.back().back();
-        char record[512];
+        char record[768];
         std::snprintf(
             record, sizeof(record),
             "{\"figure\": \"%s\", \"dataset\": \"%s\", \"sweep\": \"%s\", "
             "\"value\": %s, \"algorithm\": \"%s\", \"threads\": %d, "
             "\"dispatch\": \"%s\", \"served\": %lld, \"rejected\": %lld, "
             "\"metrs_objective\": %.6g, \"unified_cost\": %.6g, "
-            "\"service_rate\": %.6g, \"running_time_per_order_us\": %.3f}",
+            "\"service_rate\": %.6g, \"running_time_per_order_us\": %.3f, "
+            "\"planner_plans\": %lld, \"pair_tests\": %lld, "
+            "\"recomputes\": %lld, \"groups_evaluated\": %lld, "
+            "\"plan_cache_hits\": %lld, \"plan_cache_misses\": %lld, "
+            "\"plan_cache_replans\": %lld}",
             figure.c_str(), DatasetName(dataset), sweep_label.c_str(),
             std::to_string(value).c_str(), algorithm.name.c_str(),
             BenchJson().threads, BenchJson().dispatch,
             static_cast<long long>(r.served),
             static_cast<long long>(r.rejected), r.metrs_objective,
-            r.unified_cost, r.service_rate,
-            r.running_time_per_order * 1e6);
+            r.unified_cost, r.service_rate, r.running_time_per_order * 1e6,
+            static_cast<long long>(r.pool.planner_plans),
+            static_cast<long long>(r.pool.pair_tests),
+            static_cast<long long>(r.pool.best_group_recomputes),
+            static_cast<long long>(r.pool.groups_evaluated),
+            static_cast<long long>(r.pool.plan_cache_hits),
+            static_cast<long long>(r.pool.plan_cache_misses),
+            static_cast<long long>(r.pool.plan_cache_replans));
         BenchJson().records.emplace_back(record);
       }
     }
@@ -305,6 +316,26 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
 inline std::vector<DatasetKind> BenchDatasets(bool quick) {
   if (quick) return {DatasetKind::kCdc};
   return {DatasetKind::kNyc, DatasetKind::kCdc, DatasetKind::kXia};
+}
+
+/// Like BenchDatasets(quick), but `--datasets nyc|cdc|xia` (or
+/// WATTER_BENCH_DATASETS) narrows the sweep to one dataset, so a full-scale
+/// engine A/B fits the 1-core recording box without dropping sweep points.
+inline std::vector<DatasetKind> BenchDatasets(int argc, char** argv,
+                                              bool quick) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--datasets") == 0) value = argv[i + 1];
+  }
+  if (value == nullptr) value = std::getenv("WATTER_BENCH_DATASETS");
+  if (value == nullptr || std::strcmp(value, "all") == 0) {
+    return BenchDatasets(quick);
+  }
+  if (std::strcmp(value, "nyc") == 0) return {DatasetKind::kNyc};
+  if (std::strcmp(value, "cdc") == 0) return {DatasetKind::kCdc};
+  if (std::strcmp(value, "xia") == 0) return {DatasetKind::kXia};
+  std::fprintf(stderr, "unknown --datasets value: %s\n", value);
+  std::exit(2);
 }
 
 }  // namespace bench

@@ -29,6 +29,23 @@ struct ServedRecord {
   int group_size = 1;
 };
 
+/// Pool-side work counters of one run (all zero for the non-pooling
+/// baselines, which have no order pool). These are deterministic — bitwise
+/// identical across thread counts and dispatch engines for a fixed scenario
+/// — so committed baselines diff them directly to catch cache regressions
+/// (docs/PERFORMANCE.md, `BENCH_pool.json`).
+struct PoolStats {
+  int64_t best_group_recomputes = 0;  ///< Best-group searches committed.
+  int64_t groups_evaluated = 0;       ///< Candidate groups rated by searches.
+  int64_t planner_plans = 0;          ///< RoutePlanner::PlanBest invocations.
+  int64_t pair_tests = 0;             ///< Shareability pair feasibility tests.
+  int64_t plan_cache_hits = 0;        ///< Group-plan cache lookups served.
+  int64_t plan_cache_misses = 0;      ///< Lookups that had to plan fresh.
+  int64_t plan_cache_replans = 0;     ///< Expired entries re-planned later.
+  int64_t plan_cache_evictions = 0;   ///< Entries dropped on member departure.
+  int64_t reverse_index_fanout = 0;   ///< Owners dirtied via member->owners.
+};
+
 /// Aggregated results of one simulation run.
 struct MetricsReport {
   int64_t served = 0;
@@ -48,6 +65,8 @@ struct MetricsReport {
   /// Fraction of fleet time spent driving: worker_travel / (fleet size *
   /// simulated horizon); 0 when fleet info was not supplied.
   double fleet_utilization = 0.0;
+  /// Pool/planner work counters (filled by WatterPlatform; zero elsewhere).
+  PoolStats pool;
 
   /// One-line summary for logs.
   std::string ToString() const;

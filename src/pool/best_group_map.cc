@@ -5,22 +5,40 @@
 namespace watter {
 namespace {
 
-// Minimum number of stale entries before RefreshMany fans out; one
-// best-group search (clique enumeration + route planning) is the unit of
-// work, so even small batches amortize the pool wake-up.
+// Minimum number of work items before a refresh phase fans out; one
+// best-group scan/selection (clique enumeration) or one group plan is the
+// unit of work, so even small batches amortize the pool wake-up.
 constexpr size_t kParallelGrain = 4;
 
 }  // namespace
 
 void BestGroupMap::OnOrderRemoved(OrderId member) {
+  // Reverse-membership dirtying: O(owners of the departed member), where the
+  // previous implementation scanned every cached best group in the map.
+  auto bucket = owners_of_.find(member);
+  if (bucket != owners_of_.end()) {
+    for (OrderId owner : bucket->second) {
+      if (owner == member) continue;
+      ++reverse_index_fanout_;
+      dirty_.insert(owner);
+    }
+  }
+  RemoveOwnerEntries(member);
+  owners_of_.erase(member);
   best_.erase(member);
   dirty_.erase(member);
   none_.erase(member);
-  for (auto& [id, group] : best_) {
-    if (std::binary_search(group.members.begin(), group.members.end(),
-                           member)) {
-      dirty_.insert(id);
-    }
+  plan_cache_.OnOrderRemoved(member);
+}
+
+void BestGroupMap::RemoveOwnerEntries(OrderId owner) {
+  auto it = best_.find(owner);
+  if (it == best_.end()) return;
+  for (OrderId member : it->second.members) {
+    auto bucket = owners_of_.find(member);
+    if (bucket == owners_of_.end()) continue;
+    bucket->second.erase(owner);
+    if (bucket->second.empty()) owners_of_.erase(bucket);
   }
 }
 
@@ -51,49 +69,121 @@ const BestGroup* BestGroupMap::BestFor(OrderId id, Time now) {
   return &it->second;
 }
 
-BestGroupMap::SearchResult BestGroupMap::ComputeBest(OrderId id,
-                                                     Time now) const {
-  SearchResult result;
-  const Order* anchor = graph_->GetOrder(id);
-  if (anchor == nullptr) return result;
+bool BestGroupMap::CandidateAdmissible(
+    std::span<const OrderId> members) const {
+  // Oversized cliques (CliqueOptions::max_size above kMaxGroupSize) cannot
+  // be planned — and must not reach the fixed-width GroupKey.
+  if (members.size() > static_cast<size_t>(kMaxGroupSize)) return false;
+  int riders = 0;
+  for (OrderId member : members) {
+    const Order* order = graph_->GetOrder(member);
+    if (order == nullptr) return false;
+    riders += order->riders;
+  }
+  return riders <= capacity_;
+}
 
-  std::optional<BestGroup>& best = result.best;
+BestGroupMap::CandidateScan BestGroupMap::ScanCandidates(OrderId id,
+                                                         Time now) const {
+  CandidateScan scan;
+  if (graph_->GetOrder(id) == nullptr) return scan;
+
+  auto classify = [&](std::span<const OrderId> members) {
+    if (!CandidateAdmissible(members)) return;
+    GroupKey key(members);
+    const CachedGroupPlan* entry = plan_cache_.Find(key);
+    if (entry == nullptr) {
+      ++scan.misses;
+      scan.need_plan.push_back(key);
+    } else if (!entry->feasible || entry->plan.latest_departure >= now) {
+      // Cached verdict still answers the query (infeasibility is permanent;
+      // an unexpired plan is still the min-cost feasible plan — see
+      // group_plan_cache.h).
+      ++scan.hits;
+    } else {
+      // The cached min-cost route expired; a costlier route with more
+      // deadline slack may still exist, so re-plan at the current time.
+      ++scan.replans;
+      scan.need_plan.push_back(key);
+    }
+  };
+
+  if (include_singletons_) {
+    const OrderId self[] = {id};
+    classify(std::span<const OrderId>(self));
+  }
+  thread_local CliqueEnumerator enumerator;
+  enumerator.Enumerate(*graph_, id, clique_options_, classify);
+  return scan;
+}
+
+CachedGroupPlan BestGroupMap::PlanGroup(const GroupKey& key, Time now) const {
+  CachedGroupPlan entry;
+  std::vector<const Order*> orders;
+  orders.reserve(static_cast<size_t>(key.size));
+  for (OrderId member : key.members()) {
+    const Order* order = graph_->GetOrder(member);
+    if (order == nullptr) return entry;  // Unreachable: scan filtered these.
+    orders.push_back(order);
+  }
+  auto plan = planner_->PlanBest(orders, now, capacity_);
+  if (!plan.ok()) return entry;
+  entry.feasible = true;
+  for (size_t i = 0; i < orders.size(); ++i) {
+    entry.sum_detour += plan->completion[i] - orders[i]->shortest_cost;
+    entry.sum_release += orders[i]->release;
+  }
+  entry.plan = std::move(plan).value();
+  return entry;
+}
+
+BestGroupMap::SearchResult BestGroupMap::SelectBest(OrderId id,
+                                                    Time now) const {
+  SearchResult result;
+  if (graph_->GetOrder(id) == nullptr) return result;
+
+  const CachedGroupPlan* best_entry = nullptr;
+  GroupKey best_key;
   double best_avg = kInfCost;
 
-  auto consider = [&](const std::vector<OrderId>& members) {
+  auto consider = [&](std::span<const OrderId> members) {
     ++result.groups_evaluated;
-    std::vector<const Order*> orders;
-    orders.reserve(members.size());
-    int riders = 0;
-    for (OrderId member : members) {
-      const Order* order = graph_->GetOrder(member);
-      if (order == nullptr) return;
-      riders += order->riders;
-      orders.push_back(order);
-    }
-    if (riders > capacity_) return;
-    auto plan = planner_->PlanBest(orders, now, capacity_);
-    if (!plan.ok()) return;
-    BestGroup group;
-    group.members = members;
-    group.sum_detour = 0.0;
-    group.sum_release = 0.0;
-    for (size_t i = 0; i < orders.size(); ++i) {
-      group.sum_detour += plan->completion[i] - orders[i]->shortest_cost;
-      group.sum_release += orders[i]->release;
-    }
-    group.plan = std::move(plan).value();
-    double avg = group.AverageExtraTime(now, weights_);
-    if (!best.has_value() || avg < best_avg) {
-      best = std::move(group);
+    if (!CandidateAdmissible(members)) return;
+    GroupKey key(members);
+    // Every admissible candidate was planned (or found cached) by the scan
+    // + plan phases over the same frozen graph, so the guards below are
+    // defensive rather than load-bearing.
+    const CachedGroupPlan* entry = plan_cache_.Find(key);
+    if (entry == nullptr || !entry->feasible) return;
+    if (entry->plan.latest_departure < now) return;
+    double size = static_cast<double>(members.size());
+    double avg_detour = entry->sum_detour / size;
+    double avg_response = now - entry->sum_release / size;
+    double avg = weights_.alpha * avg_detour + weights_.beta * avg_response;
+    if (best_entry == nullptr || avg < best_avg) {
+      best_entry = entry;
+      best_key = key;
       best_avg = avg;
     }
   };
 
-  if (include_singletons_) consider({id});
-  int visited =
-      EnumerateCliquesContaining(*graph_, id, clique_options_, consider);
+  if (include_singletons_) {
+    const OrderId self[] = {id};
+    consider(std::span<const OrderId>(self));
+  }
+  thread_local CliqueEnumerator enumerator;
+  int visited = enumerator.Enumerate(*graph_, id, clique_options_, consider);
   result.truncated = visited >= clique_options_.max_visits;
+
+  if (best_entry != nullptr) {
+    BestGroup group;
+    group.members.assign(best_key.members().begin(),
+                         best_key.members().end());
+    group.plan = best_entry->plan;  // Copied: the cache retains its entry.
+    group.sum_detour = best_entry->sum_detour;
+    group.sum_release = best_entry->sum_release;
+    result.best = std::move(group);
+  }
   return result;
 }
 
@@ -101,9 +191,13 @@ void BestGroupMap::Commit(OrderId id, SearchResult result) {
   ++recompute_count_;
   groups_evaluated_ += result.groups_evaluated;
   dirty_.erase(id);
+  RemoveOwnerEntries(id);
   best_.erase(id);
   none_.erase(id);
   if (result.best.has_value()) {
+    for (OrderId member : result.best->members) {
+      owners_of_[member].insert(id);
+    }
     best_.emplace(id, std::move(*result.best));
   } else if (!result.truncated) {
     // Only a complete search proves the order groupless (see none_ docs).
@@ -111,8 +205,76 @@ void BestGroupMap::Commit(OrderId id, SearchResult result) {
   }
 }
 
+void BestGroupMap::RefreshInternal(const std::vector<OrderId>& anchors,
+                                   Time now) {
+  if (anchors.empty()) return;
+  bool parallel = executor_ != nullptr && executor_->num_threads() > 1;
+
+  // Phase 1: scan every anchor's candidates against the cache frozen at
+  // batch entry. Lookups see only pre-batch state, so each anchor's outcome
+  // — and every counter derived below — is a pure function of (graph,
+  // cache, anchors, now), never of thread count or sibling anchors.
+  std::vector<CandidateScan> scans(anchors.size());
+  if (parallel && anchors.size() > kParallelGrain) {
+    executor_->ParallelMap(anchors.size(), kParallelGrain, &scans,
+                           [&](size_t i) {
+                             return ScanCandidates(anchors[i], now);
+                           });
+  } else {
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      scans[i] = ScanCandidates(anchors[i], now);
+    }
+  }
+
+  // Merge: the distinct member sets needing a plan, in lexicographic key
+  // order. This is the intra-batch dedupe — the k anchors sharing a clique
+  // contribute the key k times but it is planned once.
+  std::vector<GroupKey> need;
+  for (const CandidateScan& scan : scans) {
+    plan_cache_hits_ += scan.hits;
+    plan_cache_misses_ += scan.misses;
+    plan_cache_replans_ += scan.replans;
+    need.insert(need.end(), scan.need_plan.begin(), scan.need_plan.end());
+  }
+  std::sort(need.begin(), need.end());
+  need.erase(std::unique(need.begin(), need.end()), need.end());
+
+  // Phase 2: plan each distinct member set exactly once, then commit the
+  // outcomes serially in key order.
+  std::vector<CachedGroupPlan> planned(need.size());
+  if (parallel && need.size() > kParallelGrain) {
+    executor_->ParallelMap(need.size(), kParallelGrain, &planned,
+                           [&](size_t i) { return PlanGroup(need[i], now); });
+  } else {
+    for (size_t i = 0; i < need.size(); ++i) {
+      planned[i] = PlanGroup(need[i], now);
+    }
+  }
+  for (size_t i = 0; i < need.size(); ++i) {
+    plan_cache_.Put(need[i], std::move(planned[i]));
+  }
+
+  // Phase 3: rank each anchor's candidates from the now-complete cache and
+  // commit serially in `anchors` order — identical to a serial per-anchor
+  // recompute.
+  std::vector<SearchResult> results(anchors.size());
+  if (parallel && anchors.size() > kParallelGrain) {
+    executor_->ParallelMap(anchors.size(), kParallelGrain, &results,
+                           [&](size_t i) {
+                             return SelectBest(anchors[i], now);
+                           });
+  } else {
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      results[i] = SelectBest(anchors[i], now);
+    }
+  }
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    Commit(anchors[i], std::move(results[i]));
+  }
+}
+
 void BestGroupMap::Recompute(OrderId id, Time now) {
-  Commit(id, ComputeBest(id, now));
+  RefreshInternal({id}, now);
 }
 
 void BestGroupMap::RefreshMany(const std::vector<OrderId>& ids, Time now) {
@@ -122,28 +284,7 @@ void BestGroupMap::RefreshMany(const std::vector<OrderId>& ids, Time now) {
   for (OrderId id : ids) {
     if (graph_->Contains(id) && NeedsRefresh(id, now)) stale.push_back(id);
   }
-  if (stale.empty()) return;
-
-  if (executor_ == nullptr || executor_->num_threads() <= 1 ||
-      stale.size() <= kParallelGrain) {
-    for (OrderId id : stale) Recompute(id, now);
-    return;
-  }
-
-  // Parallel phase: each slot is written by exactly one task; the graph is
-  // frozen and ComputeBest never touches the caches.
-  std::vector<SearchResult> results(stale.size());
-  executor_->ParallelFor(
-      stale.size(), kParallelGrain, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          results[i] = ComputeBest(stale[i], now);
-        }
-      });
-
-  // Ordered commit, identical to running Recompute serially over `stale`.
-  for (size_t i = 0; i < stale.size(); ++i) {
-    Commit(stale[i], std::move(results[i]));
-  }
+  RefreshInternal(stale, now);
 }
 
 }  // namespace watter

@@ -1,66 +1,13 @@
 #include "src/pool/clique_enumerator.h"
 
-#include <algorithm>
-
 namespace watter {
-namespace {
-
-struct EnumerationState {
-  const ShareabilityGraph* graph;
-  const CliqueOptions* options;
-  const std::function<void(const std::vector<OrderId>&)>* visit;
-  std::vector<OrderId> current;
-  int visited = 0;
-};
-
-void Extend(EnumerationState* state, const std::vector<OrderId>& candidates) {
-  if (state->visited >= state->options->max_visits) return;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (state->visited >= state->options->max_visits) return;
-    OrderId next = candidates[i];
-    state->current.push_back(next);
-
-    std::vector<OrderId> sorted = state->current;
-    std::sort(sorted.begin(), sorted.end());
-    ++state->visited;
-    (*state->visit)(sorted);
-
-    if (static_cast<int>(state->current.size()) < state->options->max_size) {
-      // Candidates for deeper extension: later-indexed candidates adjacent
-      // to `next` (adjacency to all earlier members is inductively true).
-      std::vector<OrderId> deeper;
-      for (size_t j = i + 1; j < candidates.size(); ++j) {
-        if (state->graph->HasEdge(next, candidates[j])) {
-          deeper.push_back(candidates[j]);
-        }
-      }
-      if (!deeper.empty()) Extend(state, deeper);
-    }
-    state->current.pop_back();
-  }
-}
-
-}  // namespace
 
 int EnumerateCliquesContaining(
     const ShareabilityGraph& graph, OrderId anchor,
     const CliqueOptions& options,
-    const std::function<void(const std::vector<OrderId>&)>& visit) {
-  if (!graph.Contains(anchor) || options.max_size < 2) return 0;
-  std::vector<OrderId> neighbors;
-  for (const ShareEdge& edge : graph.Neighbors(anchor)) {
-    neighbors.push_back(edge.other);
-  }
-  // Deterministic order regardless of hash-map iteration.
-  std::sort(neighbors.begin(), neighbors.end());
-
-  EnumerationState state;
-  state.graph = &graph;
-  state.options = &options;
-  state.visit = &visit;
-  state.current = {anchor};
-  Extend(&state, neighbors);
-  return state.visited;
+    const std::function<void(std::span<const OrderId>)>& visit) {
+  CliqueEnumerator enumerator;
+  return enumerator.Enumerate(graph, anchor, options, visit);
 }
 
 }  // namespace watter

@@ -6,10 +6,20 @@
 // verified exactly with the route planner. Enumeration is bounded both by
 // the maximum group size and by a visit budget so pathological dense pools
 // cannot stall a decision round.
+//
+// The enumerator is allocation-free on the visit path: one reusable scratch
+// buffer holds every level's candidate range (an explicit stack of ranges
+// into it replaces recursion), members are emitted through a span over a
+// small sorted buffer, and all scratch is reused across Enumerate calls.
+// The previous recursive implementation heap-allocated a sorted copy plus a
+// filtered candidate vector per visited clique — at 4096 visits per anchor
+// that dominated dense-pool maintenance.
 #ifndef WATTER_POOL_CLIQUE_ENUMERATOR_H_
 #define WATTER_POOL_CLIQUE_ENUMERATOR_H_
 
+#include <algorithm>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "src/core/types.h"
@@ -23,17 +33,118 @@ struct CliqueOptions {
   int max_visits = 4096;         ///< Hard cap on emitted cliques per anchor.
 };
 
-/// Calls `visit` for every clique of size in [2, max_size] that contains
-/// `anchor`, as a sorted member vector (anchor included). Returns the number
-/// of cliques visited; stops early once options.max_visits is reached.
-///
-/// The same clique is emitted exactly once. Sub-cliques of larger cliques are
-/// emitted too (every sub-clique is itself a candidate group — a cheaper
-/// route may exist for fewer members).
+/// Reusable clique enumerator. Each instance owns scratch buffers that grow
+/// to the densest anchor seen and are reused across calls; distinct
+/// instances are fully independent, so concurrent searches each carry their
+/// own enumerator (BestGroupMap keeps one per parallel task via a
+/// thread_local).
+class CliqueEnumerator {
+ public:
+  /// Calls `visit` with a sorted member span (anchor included) for every
+  /// clique of size in [2, options.max_size] that contains `anchor`.
+  /// Returns the number of cliques visited; stops early once
+  /// options.max_visits is reached.
+  ///
+  /// The same clique is emitted exactly once, and sub-cliques of larger
+  /// cliques are emitted too (every sub-clique is itself a candidate group).
+  /// The visit sequence is deterministic — depth-first, candidates in
+  /// ascending id order — and identical to the recursive reference
+  /// implementation this replaced, so a truncated enumeration sees exactly
+  /// the same prefix (the `none_` soundness rules depend on this).
+  ///
+  /// The span passed to `visit` aliases internal scratch: it is valid only
+  /// for the duration of the call and must be copied to outlive it.
+  template <typename Visitor>
+  int Enumerate(const ShareabilityGraph& graph, OrderId anchor,
+                const CliqueOptions& options, Visitor&& visit) {
+    if (!graph.Contains(anchor) || options.max_size < 2) return 0;
+    candidates_.clear();
+    members_.clear();
+    frames_.clear();
+
+    for (const ShareEdge& edge : graph.Neighbors(anchor)) {
+      candidates_.push_back(edge.other);
+    }
+    // Deterministic order regardless of hash-map iteration.
+    std::sort(candidates_.begin(), candidates_.end());
+
+    members_.push_back(anchor);
+    frames_.push_back(Frame{0, candidates_.size(), 0, false});
+    int visited = 0;
+
+    while (!frames_.empty()) {
+      Frame& frame = frames_.back();
+      if (frame.member_pushed) {
+        // Done with candidates_[next - 1]: drop it and advance.
+        PopMember(candidates_[frame.next - 1]);
+        frame.member_pushed = false;
+        continue;
+      }
+      if (visited >= options.max_visits || frame.next >= frame.end) {
+        candidates_.resize(frame.begin);
+        frames_.pop_back();
+        continue;
+      }
+      OrderId next = candidates_[frame.next++];
+      PushMember(next);
+      frame.member_pushed = true;
+      ++visited;
+      visit(std::span<const OrderId>(members_));
+
+      if (static_cast<int>(members_.size()) < options.max_size) {
+        // Candidates for deeper extension: later-indexed candidates
+        // adjacent to `next` (adjacency to all earlier members is
+        // inductively true). Appended to the shared buffer; the child
+        // frame's range is truncated away when it pops.
+        size_t child_begin = candidates_.size();
+        for (size_t j = frame.next; j < frame.end; ++j) {
+          if (graph.HasEdge(next, candidates_[j])) {
+            candidates_.push_back(candidates_[j]);
+          }
+        }
+        if (candidates_.size() > child_begin) {
+          // Invalidates `frame`; nothing below touches it.
+          frames_.push_back(
+              Frame{child_begin, candidates_.size(), child_begin, false});
+        }
+      }
+    }
+    return visited;
+  }
+
+ private:
+  /// One in-flight enumeration level: a candidate range in `candidates_`
+  /// and the loop position within it.
+  struct Frame {
+    size_t begin;        ///< Range start in candidates_.
+    size_t end;          ///< Range end in candidates_.
+    size_t next;         ///< Next candidate index to try (absolute).
+    bool member_pushed;  ///< candidates_[next-1] currently in members_.
+  };
+
+  /// Inserts `id` keeping members_ sorted (<= kMaxGroupSize elements).
+  void PushMember(OrderId id) {
+    members_.push_back(id);
+    for (size_t p = members_.size() - 1; p > 0 && members_[p - 1] > id; --p) {
+      std::swap(members_[p - 1], members_[p]);
+    }
+  }
+
+  void PopMember(OrderId id) {
+    members_.erase(std::find(members_.begin(), members_.end(), id));
+  }
+
+  std::vector<OrderId> candidates_;  ///< All levels' ranges, stacked.
+  std::vector<OrderId> members_;    ///< Current clique, sorted.
+  std::vector<Frame> frames_;
+};
+
+/// Convenience wrapper over a local CliqueEnumerator for one-off calls
+/// (tests, tools). Hot paths should hold a CliqueEnumerator and reuse it.
 int EnumerateCliquesContaining(
     const ShareabilityGraph& graph, OrderId anchor,
     const CliqueOptions& options,
-    const std::function<void(const std::vector<OrderId>&)>& visit);
+    const std::function<void(std::span<const OrderId>)>& visit);
 
 }  // namespace watter
 

@@ -1,0 +1,41 @@
+#include "src/pool/group_plan_cache.h"
+
+#include <algorithm>
+
+namespace watter {
+
+void GroupPlanCache::Put(const GroupKey& key, CachedGroupPlan entry) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  it->second = std::move(entry);
+  if (!inserted) return;  // Re-plan overwrite: reverse index already set.
+  for (OrderId member : key.members()) {
+    containing_[member].push_back(key);
+  }
+}
+
+void GroupPlanCache::OnOrderRemoved(OrderId member) {
+  auto bucket = containing_.find(member);
+  if (bucket == containing_.end()) return;
+  // Detach the bucket first: the per-key cleanup below mutates containing_,
+  // and the member's own bucket must not be re-created mid-loop.
+  std::vector<GroupKey> keys = std::move(bucket->second);
+  containing_.erase(bucket);
+  for (const GroupKey& key : keys) {
+    entries_.erase(key);
+    ++evictions_;
+    for (OrderId other : key.members()) {
+      if (other == member) continue;
+      auto it = containing_.find(other);
+      if (it == containing_.end()) continue;
+      // Swap-pop: bucket order is irrelevant (buckets only feed erasure).
+      auto pos = std::find(it->second.begin(), it->second.end(), key);
+      if (pos != it->second.end()) {
+        *pos = it->second.back();
+        it->second.pop_back();
+      }
+      if (it->second.empty()) containing_.erase(it);
+    }
+  }
+}
+
+}  // namespace watter

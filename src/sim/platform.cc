@@ -436,7 +436,21 @@ MetricsReport WatterPlatform::Run() {
     }
   }
   metrics_.AddAlgorithmTime(algorithm_time.ElapsedSeconds());
-  return metrics_.Report();
+  MetricsReport report = metrics_.Report();
+  // Pool-side work counters: deterministic for a fixed scenario, so bench
+  // baselines can diff them across PRs (docs/PERFORMANCE.md).
+  report.pool.best_group_recomputes = pool_.best_groups().recompute_count();
+  report.pool.groups_evaluated = pool_.best_groups().groups_evaluated();
+  report.pool.planner_plans = pool_.planner().plan_count();
+  report.pool.pair_tests = pool_.graph().pair_tests();
+  report.pool.plan_cache_hits = pool_.best_groups().plan_cache_hits();
+  report.pool.plan_cache_misses = pool_.best_groups().plan_cache_misses();
+  report.pool.plan_cache_replans = pool_.best_groups().plan_cache_replans();
+  report.pool.plan_cache_evictions =
+      pool_.best_groups().plan_cache_evictions();
+  report.pool.reverse_index_fanout =
+      pool_.best_groups().reverse_index_fanout();
+  return report;
 }
 
 MetricsReport RunWatter(Scenario* scenario, ThresholdProvider* provider,

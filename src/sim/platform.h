@@ -77,10 +77,12 @@ struct SimOptions {
   /// serial, negative = all hardware threads). Metrics and dispatch
   /// decisions are bitwise identical for any value (see thread_pool.h).
   int num_threads = 0;
-  /// Dispatch engine for the decision phase of each check round. Serial is
-  /// the default (pre-batching behavior, bit-for-bit); kBatched moves the
-  /// per-round decisions onto the thread pool (CLI `--dispatch=batched`).
-  DispatchMode dispatch = DispatchMode::kSerial;
+  /// Dispatch engine for the decision phase of each check round. Batched is
+  /// the default since the paper-scale A/B (docs/PERFORMANCE.md): global
+  /// cost-ranked commits serve up to +11pp service rate under fleet
+  /// contention and are within noise otherwise. `kSerial` keeps the
+  /// paper-faithful sequential loop (CLI `--dispatch=serial`).
+  DispatchMode dispatch = DispatchMode::kBatched;
 };
 
 /// One observed per-order decision; the RL trainer consumes these to build

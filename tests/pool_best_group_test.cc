@@ -212,5 +212,57 @@ TEST_F(OrderPoolTest, RecomputeCountsAreTracked) {
   EXPECT_GE(pool_.best_groups().groups_evaluated(), 1);
 }
 
+TEST_F(OrderPoolTest, OversizedCliqueOptionsStaySafe) {
+  // CliqueOptions::max_size above kMaxGroupSize emits cliques the planner
+  // can never serve. They must be skipped as inadmissible *before* touching
+  // the fixed-width plan-cache key (ASan regression: the key holds at most
+  // kMaxGroupSize member ids), while every plannable sub-clique still
+  // competes normally.
+  PoolOptions options;
+  options.capacity = 8;
+  options.cliques = CliqueOptions{/*max_size=*/7, /*max_visits=*/4096};
+  OrderPool pool(&oracle_, options);
+  for (OrderId id = 81; id <= 86; ++id) {
+    Order order = IdenticalTrip(id, static_cast<Time>(id - 81),
+                                testutil::kD, testutil::kF, 2 * kMin);
+    ASSERT_TRUE(pool.Insert(order, order.release).ok());
+  }
+  const BestGroup* best = pool.BestFor(81, 6.0);
+  ASSERT_NE(best, nullptr);
+  EXPECT_GE(best->size(), 2);
+  EXPECT_LE(best->size(), kMaxGroupSize);
+}
+
+TEST_F(OrderPoolTest, DepartureDirtiesOwnersThroughReverseIndex) {
+  // Three identical trips: every order's best group is a shared group
+  // containing partner orders. Removing one partner must dirty exactly the
+  // owners whose cached group contained it — via the reverse-membership
+  // index, observable through its fan-out counter — and evict its plans.
+  Order a = IdenticalTrip(61, 0, testutil::kD, testutil::kF, 2 * kMin);
+  Order b = IdenticalTrip(62, 4, testutil::kD, testutil::kF, 2 * kMin);
+  Order c = IdenticalTrip(63, 8, testutil::kD, testutil::kF, 2 * kMin);
+  ASSERT_TRUE(paper_pool_.Insert(a, a.release).ok());
+  ASSERT_TRUE(paper_pool_.Insert(b, b.release).ok());
+  ASSERT_TRUE(paper_pool_.Insert(c, c.release).ok());
+  Time now = c.release;
+  for (OrderId id : {a.id, b.id, c.id}) {
+    ASSERT_NE(paper_pool_.BestFor(id, now), nullptr);
+  }
+  BestGroupMap& map = paper_pool_.best_groups();
+  EXPECT_EQ(map.reverse_index_fanout(), 0);
+  EXPECT_GT(map.plan_cache_size(), 0u);
+  int64_t evictions = map.plan_cache_evictions();
+
+  ASSERT_TRUE(paper_pool_.Remove(b.id).ok());
+  // a and c owned groups containing b (identical trips always group).
+  EXPECT_EQ(map.reverse_index_fanout(), 2);
+  EXPECT_GT(map.plan_cache_evictions(), evictions);
+
+  // The dirtied owners regroup without the departed member.
+  const BestGroup* best = paper_pool_.BestFor(a.id, now + 1);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->members, (std::vector<OrderId>{a.id, c.id}));
+}
+
 }  // namespace
 }  // namespace watter

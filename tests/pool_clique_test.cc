@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "src/pool/clique_enumerator.h"
@@ -56,7 +57,9 @@ TEST_F(CliqueTest, TriangleYieldsPairsAndTriple) {
   std::set<std::vector<OrderId>> cliques;
   int visited = EnumerateCliquesContaining(
       share_, 1, CliqueOptions{5, 1000},
-      [&](const std::vector<OrderId>& members) { cliques.insert(members); });
+      [&](std::span<const OrderId> members) {
+        cliques.emplace(members.begin(), members.end());
+      });
   EXPECT_EQ(visited, 3);
   EXPECT_TRUE(cliques.count({1, 2}));
   EXPECT_TRUE(cliques.count({1, 3}));
@@ -74,7 +77,9 @@ TEST_F(CliqueTest, MaxSizeBoundsCliqueDepth) {
   std::set<std::vector<OrderId>> cliques;
   EnumerateCliquesContaining(
       share_, 1, CliqueOptions{2, 1000},
-      [&](const std::vector<OrderId>& members) { cliques.insert(members); });
+      [&](std::span<const OrderId> members) {
+        cliques.emplace(members.begin(), members.end());
+      });
   EXPECT_EQ(cliques.size(), 2u);  // Only the two pairs.
   for (const auto& clique : cliques) EXPECT_LE(clique.size(), 2u);
 }
@@ -86,7 +91,7 @@ TEST_F(CliqueTest, VisitBudgetStopsEnumeration) {
   }
   int visited = EnumerateCliquesContaining(
       share_, 1, CliqueOptions{5, 3},
-      [](const std::vector<OrderId>&) {});
+      [](std::span<const OrderId>) {});
   EXPECT_EQ(visited, 3);
 }
 
@@ -99,7 +104,7 @@ TEST_F(CliqueTest, EveryEmittedCliqueIsActuallyAClique) {
   int checked = 0;
   EnumerateCliquesContaining(
       share_, 2, CliqueOptions{4, 1000},
-      [&](const std::vector<OrderId>& members) {
+      [&](std::span<const OrderId> members) {
         ++checked;
         EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
         EXPECT_TRUE(std::binary_search(members.begin(), members.end(),
@@ -122,7 +127,9 @@ TEST_F(CliqueTest, NoDuplicateCliques) {
   std::vector<std::vector<OrderId>> seen;
   EnumerateCliquesContaining(
       share_, 1, CliqueOptions{5, 100000},
-      [&](const std::vector<OrderId>& members) { seen.push_back(members); });
+      [&](std::span<const OrderId> members) {
+        seen.emplace_back(members.begin(), members.end());
+      });
   std::set<std::vector<OrderId>> unique(seen.begin(), seen.end());
   EXPECT_EQ(unique.size(), seen.size());
   // 4 neighbors, all mutually adjacent: cliques containing the anchor are
@@ -132,12 +139,12 @@ TEST_F(CliqueTest, NoDuplicateCliques) {
 
 TEST_F(CliqueTest, UnknownAnchorOrTinyMaxSizeYieldsNothing) {
   EXPECT_EQ(EnumerateCliquesContaining(share_, 404, CliqueOptions{5, 100},
-                                       [](const std::vector<OrderId>&) {}),
+                                       [](std::span<const OrderId>) {}),
             0);
   ASSERT_TRUE(share_.Insert(CorridorOrder(1, testutil::kD, testutil::kF), 0)
                   .ok());
   EXPECT_EQ(EnumerateCliquesContaining(share_, 1, CliqueOptions{1, 100},
-                                       [](const std::vector<OrderId>&) {}),
+                                       [](std::span<const OrderId>) {}),
             0);
 }
 

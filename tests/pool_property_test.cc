@@ -13,6 +13,7 @@
 #include "src/common/thread_pool.h"
 #include "src/geo/city_generator.h"
 #include "src/pool/order_pool.h"
+#include "tests/test_util.h"
 
 namespace watter {
 namespace {
@@ -259,6 +260,26 @@ TEST_P(PoolRebuildPropertyTest, IncrementalEdgesMatchFromScratchRebuild) {
   EXPECT_GE(checkpoints, 5);
 }
 
+// Bitwise best-group comparison between two pools at one timestamp.
+void ExpectSameBestGroups(OrderPool* a, OrderPool* b,
+                          const std::vector<OrderId>& ids, Time now) {
+  for (OrderId id : ids) {
+    const BestGroup* ga = a->BestFor(id, now);
+    const BestGroup* gb = b->BestFor(id, now);
+    ASSERT_EQ(ga == nullptr, gb == nullptr) << "order " << id;
+    if (ga == nullptr) continue;
+    EXPECT_EQ(ga->members, gb->members) << "order " << id;
+    // Bitwise: a cached plan reused at a later time must equal the plan a
+    // cold pool computes fresh (min-cost feasible routes are depart-time-
+    // invariant while unexpired; see group_plan_cache.h).
+    EXPECT_EQ(ga->plan.total_cost, gb->plan.total_cost) << "order " << id;
+    EXPECT_EQ(ga->plan.latest_departure, gb->plan.latest_departure)
+        << "order " << id;
+    EXPECT_EQ(ga->sum_detour, gb->sum_detour) << "order " << id;
+    EXPECT_EQ(ga->sum_release, gb->sum_release) << "order " << id;
+  }
+}
+
 // The same op stream driven through a serial pool and through a pool whose
 // maintenance fans out on a 4-thread executor must produce bitwise-identical
 // graphs and best groups — the determinism contract of the parallel paths.
@@ -308,6 +329,203 @@ TEST_P(PoolRebuildPropertyTest, ParallelMaintenanceMatchesSerial) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolRebuildPropertyTest,
                          testing::Values(11, 222, 3303));
+
+// ---------------------------------------------------------------------------
+// Churn-heavy incremental maintenance: reverse index + shared plan cache.
+// ---------------------------------------------------------------------------
+
+// A departure-heavy op stream with large time jumps: removals dominate the
+// mutation mix (exercising the reverse-membership index), and the jumps push
+// sim time past many cached latest_departures (exercising edge expiry, group
+// expiry, and plan-cache replans).
+std::vector<PoolOp> MakeChurnStream(const City& city, TravelTimeOracle* oracle,
+                                    uint64_t seed, int steps, Time* end_time) {
+  Rng rng(seed * 977 + 13);
+  Time now = 0.0;
+  OrderId next_id = 1;
+  std::vector<OrderId> alive;
+  std::vector<PoolOp> ops;
+  for (int step = 0; step < steps; ++step) {
+    now += rng.Uniform(0, 12);
+    double action = rng.Uniform();
+    PoolOp op;
+    op.now = now;
+    if (action < 0.45 || alive.empty()) {
+      Order order;
+      order.id = next_id++;
+      order.pickup = city.RandomNode(&rng);
+      do {
+        order.dropoff = city.RandomNode(&rng);
+      } while (order.dropoff == order.pickup);
+      order.riders = static_cast<int>(rng.UniformInt(1, 2));
+      order.release = now;
+      order.shortest_cost = oracle->Cost(order.pickup, order.dropoff);
+      order.deadline = now + rng.Uniform(1.2, 2.0) * order.shortest_cost;
+      order.wait_limit = 0.8 * order.shortest_cost;
+      op.kind = PoolOp::kInsert;
+      op.order = order;
+      op.inserted_at = now;
+      alive.push_back(order.id);
+    } else if (action < 0.85) {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alive.size()) - 1));
+      op.kind = PoolOp::kRemove;
+      op.target = alive[pick];
+      alive.erase(alive.begin() + static_cast<int64_t>(pick));
+    } else {
+      op.kind = PoolOp::kExpire;
+    }
+    ops.push_back(op);
+  }
+  *end_time = now;
+  return ops;
+}
+
+class PoolChurnPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+// Churn-heavy arrivals/departures/edge- and group-expiries: the
+// incrementally maintained map (reverse-membership dirtying + shared plan
+// cache, refreshed in parallel batches) must stay bitwise equal to a pool
+// rebuilt from scratch at every checkpoint — and its counters must be a
+// pure function of the op stream, identical with and without the executor.
+TEST_P(PoolChurnPropertyTest, IncrementalMatchesFromScratchUnderChurn) {
+  auto city = GenerateCity({.width = 14, .height = 14, .seed = GetParam()});
+  ASSERT_TRUE(city.ok());
+  auto oracle = BuildOracle(city->graph, OracleKind::kMatrix);
+  ASSERT_TRUE(oracle.ok());
+
+  Time end_time = 0.0;
+  std::vector<PoolOp> ops =
+      MakeChurnStream(*city, oracle->get(), GetParam(), 350, &end_time);
+
+  ThreadPool executor(4);
+  OrderPool serial(oracle->get(), PoolOptions{});
+  OrderPool parallel(oracle->get(), PoolOptions{});
+  parallel.set_executor(&executor);
+
+  std::map<OrderId, PoolOp> alive;  // Insert ops of resident orders.
+  int checkpoints = 0;
+  int groups_seen = 0;
+  for (size_t step = 0; step < ops.size(); ++step) {
+    const PoolOp& op = ops[step];
+    ApplyOp(&serial, op);
+    ApplyOp(&parallel, op);
+    if (testing::Test::HasFatalFailure()) return;
+    if (op.kind == PoolOp::kInsert) alive.emplace(op.order.id, op);
+    if (op.kind == PoolOp::kRemove) alive.erase(op.target);
+
+    if (step % 25 != 24 && step + 1 != ops.size()) continue;
+    ++checkpoints;
+    Time now = op.now;
+    serial.ExpireEdges(now);
+    parallel.ExpireEdges(now);
+    std::vector<OrderId> ids = serial.SortedOrderIds();
+    // Identical refresh batches on both pools: this is what must make every
+    // counter below independent of the executor.
+    serial.RefreshBestGroups(ids, now);
+    parallel.RefreshBestGroups(ids, now);
+    ExpectSameBestGroups(&serial, &parallel, ids, now);
+
+    // From-scratch rebuild: no stale plan may survive a member departure,
+    // and a cached unexpired plan must equal the freshly planned one.
+    OrderPool rebuilt(oracle->get(), PoolOptions{});
+    for (const auto& [id, insert_op] : alive) {
+      ASSERT_TRUE(rebuilt.Insert(insert_op.order, insert_op.inserted_at).ok());
+    }
+    rebuilt.ExpireEdges(now);
+    ExpectSameBestGroups(&parallel, &rebuilt, ids, now);
+    for (OrderId id : ids) {
+      if (parallel.BestFor(id, now) != nullptr) ++groups_seen;
+    }
+    if (testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(checkpoints, 5);
+  EXPECT_GT(groups_seen, 0);  // The stream actually formed shared groups.
+
+  // Counters included: the three-phase refresh makes the diagnostic
+  // counters a pure function of the op stream, not of the thread count.
+  BestGroupMap& a = serial.best_groups();
+  BestGroupMap& b = parallel.best_groups();
+  EXPECT_EQ(a.recompute_count(), b.recompute_count());
+  EXPECT_EQ(a.groups_evaluated(), b.groups_evaluated());
+  EXPECT_EQ(a.plan_cache_hits(), b.plan_cache_hits());
+  EXPECT_EQ(a.plan_cache_misses(), b.plan_cache_misses());
+  EXPECT_EQ(a.plan_cache_replans(), b.plan_cache_replans());
+  EXPECT_EQ(a.plan_cache_evictions(), b.plan_cache_evictions());
+  EXPECT_EQ(a.plan_cache_size(), b.plan_cache_size());
+  EXPECT_EQ(a.reverse_index_fanout(), b.reverse_index_fanout());
+  EXPECT_EQ(serial.planner().plan_count(), parallel.planner().plan_count());
+  // The churn stream must actually have exercised the new machinery.
+  EXPECT_GT(b.plan_cache_hits(), 0);
+  EXPECT_GT(b.reverse_index_fanout(), 0);
+  EXPECT_GT(b.plan_cache_evictions(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolChurnPropertyTest,
+                         testing::Values(17, 901, 6006));
+
+// ---------------------------------------------------------------------------
+// Plan-cache soundness under truncated enumeration.
+// ---------------------------------------------------------------------------
+
+// When the visit budget clips enumeration, "no group found" must stay
+// re-runnable (never enter the negative cache), even though the plan cache
+// remembers per-member-set infeasibility verdicts from the clipped search:
+// cached verdicts are exact facts about specific member sets, so removing a
+// neighbor can still pull a previously unseen feasible clique inside the
+// budget and the re-search must find it.
+TEST(PlanCacheTruncationTest, TruncatedSearchIsNeverACachedNegative) {
+  constexpr double kMin = 60.0;
+  Graph graph = testutil::MakeExample1Graph();
+  DijkstraOracle oracle(&graph);
+  PoolOptions options;
+  options.cliques = CliqueOptions{/*max_size=*/5, /*max_visits=*/2};
+  OrderPool pool(&oracle, options);
+
+  // Four identical d->f corridor trips (cost 2 min): all pairs shareable at
+  // release. Orders 2 and 3 have tight deadlines; 1 and 9 have loose ones.
+  auto corridor = [&](OrderId id, Time deadline) {
+    return Order{.id = id, .pickup = testutil::kD, .dropoff = testutil::kF,
+                 .riders = 1, .release = 0.0, .deadline = deadline,
+                 .wait_limit = 10 * kMin, .shortest_cost = 2 * kMin};
+  };
+  ASSERT_TRUE(pool.Insert(corridor(1, 60 * kMin), 0.0).ok());
+  ASSERT_TRUE(pool.Insert(corridor(2, 4.2 * kMin), 0.0).ok());
+  ASSERT_TRUE(pool.Insert(corridor(3, 4.2 * kMin), 0.0).ok());
+  ASSERT_TRUE(pool.Insert(corridor(9, 60 * kMin), 0.0).ok());
+  ASSERT_TRUE(pool.graph().HasEdge(1, 9));
+
+  // At t = 5 min every group containing 2 or 3 is infeasible (their
+  // deadlines pass before any route could finish), but edges have not been
+  // trimmed. Enumeration from anchor 1 visits {1,2} then {1,2,3} and hits
+  // the 2-visit budget — the feasible {1,9} is beyond the clipped prefix.
+  Time now = 5 * kMin;
+  BestGroupMap& map = pool.best_groups();
+  int64_t plans_before = pool.planner().plan_count();
+  EXPECT_EQ(pool.BestFor(1, now), nullptr);
+  EXPECT_EQ(map.plan_cache_misses(), 2);  // {1,2} and {1,2,3} planned...
+  EXPECT_EQ(pool.planner().plan_count(), plans_before + 2);
+
+  // ...but the truncated "no group" outcome was not cached as negative: the
+  // next lookup re-runs the search, now answered from the plan cache alone.
+  int64_t recomputes = map.recompute_count();
+  EXPECT_EQ(pool.BestFor(1, now), nullptr);
+  EXPECT_EQ(map.recompute_count(), recomputes + 1);
+  EXPECT_EQ(pool.planner().plan_count(), plans_before + 2);  // All hits.
+  EXPECT_EQ(map.plan_cache_hits(), 2);
+
+  // Removing neighbors pulls new cliques inside the budget. After 2 leaves,
+  // the prefix is {1,3}, {1,3,9} — still truncated, still no negative.
+  ASSERT_TRUE(pool.Remove(2).ok());
+  EXPECT_EQ(pool.BestFor(1, now), nullptr);
+  // After 3 leaves too, {1,9} is finally visited and must be found despite
+  // every earlier search having returned nothing.
+  ASSERT_TRUE(pool.Remove(3).ok());
+  const BestGroup* best = pool.BestFor(1, now);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->members, (std::vector<OrderId>{1, 9}));
+  EXPECT_GE(best->plan.latest_departure, now);
+}
 
 }  // namespace
 }  // namespace watter

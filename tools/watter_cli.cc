@@ -17,10 +17,11 @@
 //   --city-seed S [derived]       --duration HOURS [2]
 //   --threads T [1; 0 = all hardware threads] — parallelism of the check
 //   loop and pool maintenance; metrics are identical for any T.
-//   --dispatch serial|batched [serial] — decision engine of the WATTER
-//   strategies (docs/DISPATCH.md): the paper-faithful sequential loop, or
-//   the batched sorted-offers engine whose per-round decisions also run on
-//   the thread pool. Either engine is deterministic for any --threads.
+//   --dispatch serial|batched [batched] — decision engine of the WATTER
+//   strategies (docs/DISPATCH.md): the batched sorted-offers engine (the
+//   default — its cost-ranked commits serve more orders under contention,
+//   see docs/PERFORMANCE.md) or the paper-faithful sequential loop. Either
+//   engine is deterministic for any --threads.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,7 +67,7 @@ struct CliArgs {
                "                  --tau X --eta X --capacity K --seed S\n"
                "                  --city-seed S --duration HOURS\n"
                "                  --threads T (0 = all hardware threads)\n"
-               "                  --dispatch serial|batched\n");
+               "                  --dispatch serial|batched (default batched)\n");
   std::exit(2);
 }
 
@@ -160,6 +161,30 @@ void PrintReport(const std::string& name, const MetricsReport& report) {
   table.AddRow({"running time / order (us)",
                 Table::Num(report.running_time_per_order * 1e6, 1)});
   table.Print();
+  // Pool work counters (zero for the non-pooling baselines): the planner-
+  // invocation and plan-cache numbers that the committed BENCH_pool.json
+  // baselines track (docs/PERFORMANCE.md, "Incremental pool maintenance").
+  if (report.pool.planner_plans > 0) {
+    Table pool({"pool counter", "value"});
+    pool.AddRow({"planner plans (PlanBest)",
+                 std::to_string(report.pool.planner_plans)});
+    pool.AddRow({"pair tests", std::to_string(report.pool.pair_tests)});
+    pool.AddRow({"best-group recomputes",
+                 std::to_string(report.pool.best_group_recomputes)});
+    pool.AddRow({"groups evaluated",
+                 std::to_string(report.pool.groups_evaluated)});
+    pool.AddRow({"plan-cache hits",
+                 std::to_string(report.pool.plan_cache_hits)});
+    pool.AddRow({"plan-cache misses",
+                 std::to_string(report.pool.plan_cache_misses)});
+    pool.AddRow({"plan-cache replans",
+                 std::to_string(report.pool.plan_cache_replans)});
+    pool.AddRow({"plan-cache evictions",
+                 std::to_string(report.pool.plan_cache_evictions)});
+    pool.AddRow({"reverse-index fan-out",
+                 std::to_string(report.pool.reverse_index_fanout)});
+    pool.Print();
+  }
 }
 
 int Generate(const CliArgs& args) {
