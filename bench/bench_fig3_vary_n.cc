@@ -15,12 +15,15 @@ int main(int argc, char** argv) {
   bool quick = QuickMode(argc, argv);
   int threads = BenchThreads(argc, argv);
   std::vector<DispatchMode> modes = BenchDispatchModes(argc, argv);
+  GeoBackend geo = BenchGeoBackend(argc, argv);
   BenchJson().path = BenchJsonPath(argc, argv);
   BenchJson().threads = threads;
+  BenchJson().geo = GeoName(geo);
 
   for (DatasetKind dataset : BenchDatasets(argc, argv, quick)) {
     WorkloadOptions base = BaseWorkload(dataset);
     base.num_threads = threads;
+    base.geo = geo;
     std::unique_ptr<ExpectModel> model;
     if (!quick) {
       auto trained = TrainExpect(base);

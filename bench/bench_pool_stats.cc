@@ -49,7 +49,7 @@ std::string PoolCounterFields(const PoolStats& pool) {
       "\"recomputes\": %lld, \"groups_evaluated\": %lld, "
       "\"plan_cache_hits\": %lld, \"plan_cache_misses\": %lld, "
       "\"plan_cache_replans\": %lld, \"plan_cache_evictions\": %lld, "
-      "\"reverse_index_fanout\": %lld",
+      "\"plan_cache_seeds\": %lld, \"reverse_index_fanout\": %lld",
       static_cast<long long>(pool.planner_plans),
       static_cast<long long>(pool.pair_tests),
       static_cast<long long>(pool.best_group_recomputes),
@@ -58,6 +58,7 @@ std::string PoolCounterFields(const PoolStats& pool) {
       static_cast<long long>(pool.plan_cache_misses),
       static_cast<long long>(pool.plan_cache_replans),
       static_cast<long long>(pool.plan_cache_evictions),
+      static_cast<long long>(pool.plan_cache_seeds),
       static_cast<long long>(pool.reverse_index_fanout));
   return buffer;
 }

@@ -78,6 +78,31 @@ inline std::vector<DispatchMode> BenchDispatchModes(int argc, char** argv) {
   std::exit(2);
 }
 
+inline const char* GeoName(GeoBackend geo) {
+  return geo == GeoBackend::kBucket ? "bucket" : "per-query";
+}
+
+/// Travel-time-oracle backend for the CH-backed datasets (nyc/xia):
+/// `--geo per-query|bucket` or WATTER_BENCH_GEO, default bucket (the
+/// batched bucket-CH oracle, src/geo/bucket_ch.h). The backends are
+/// bitwise-equivalent (tests/geo_oracle_equivalence_test.cc), so the flag
+/// can only move running time — every other column stays identical, which
+/// is exactly what BENCH_geo.json records. The matrix-oracle cdc dataset
+/// ignores it.
+inline GeoBackend BenchGeoBackend(int argc, char** argv) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--geo") == 0) value = argv[i + 1];
+  }
+  if (value == nullptr) value = std::getenv("WATTER_BENCH_GEO");
+  if (value == nullptr || std::strcmp(value, "bucket") == 0) {
+    return GeoBackend::kBucket;
+  }
+  if (std::strcmp(value, "per-query") == 0) return GeoBackend::kPerQuery;
+  std::fprintf(stderr, "unknown --geo value: %s\n", value);
+  std::exit(2);
+}
+
 /// For drivers that run one engine per invocation: like BenchDispatchModes
 /// but rejects `both` loudly instead of silently dropping a mode.
 inline DispatchMode SingleDispatchMode(int argc, char** argv) {
@@ -100,6 +125,7 @@ struct JsonSink {
   std::string path;
   int threads = 1;
   const char* dispatch = "batched";
+  const char* geo = "bucket";
   std::vector<std::string> records;
 
   ~JsonSink() { Flush(); }
@@ -262,21 +288,24 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
       results.back().push_back(algorithm.run(&*scenario));
       if (!BenchJson().path.empty()) {
         const MetricsReport& r = results.back().back();
-        char record[768];
+        char record[1024];
         std::snprintf(
             record, sizeof(record),
             "{\"figure\": \"%s\", \"dataset\": \"%s\", \"sweep\": \"%s\", "
             "\"value\": %s, \"algorithm\": \"%s\", \"threads\": %d, "
-            "\"dispatch\": \"%s\", \"served\": %lld, \"rejected\": %lld, "
+            "\"dispatch\": \"%s\", \"geo\": \"%s\", "
+            "\"served\": %lld, \"rejected\": %lld, "
             "\"metrs_objective\": %.6g, \"unified_cost\": %.6g, "
             "\"service_rate\": %.6g, \"running_time_per_order_us\": %.3f, "
             "\"planner_plans\": %lld, \"pair_tests\": %lld, "
             "\"recomputes\": %lld, \"groups_evaluated\": %lld, "
             "\"plan_cache_hits\": %lld, \"plan_cache_misses\": %lld, "
-            "\"plan_cache_replans\": %lld}",
+            "\"plan_cache_replans\": %lld, \"plan_cache_seeds\": %lld, "
+            "\"oracle_queries\": %lld, \"oracle_batches\": %lld, "
+            "\"oracle_batch_points\": %lld}",
             figure.c_str(), DatasetName(dataset), sweep_label.c_str(),
             std::to_string(value).c_str(), algorithm.name.c_str(),
-            BenchJson().threads, BenchJson().dispatch,
+            BenchJson().threads, BenchJson().dispatch, BenchJson().geo,
             static_cast<long long>(r.served),
             static_cast<long long>(r.rejected), r.metrs_objective,
             r.unified_cost, r.service_rate, r.running_time_per_order * 1e6,
@@ -286,7 +315,11 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
             static_cast<long long>(r.pool.groups_evaluated),
             static_cast<long long>(r.pool.plan_cache_hits),
             static_cast<long long>(r.pool.plan_cache_misses),
-            static_cast<long long>(r.pool.plan_cache_replans));
+            static_cast<long long>(r.pool.plan_cache_replans),
+            static_cast<long long>(r.pool.plan_cache_seeds),
+            static_cast<long long>(r.geo.queries),
+            static_cast<long long>(r.geo.batches),
+            static_cast<long long>(r.geo.batch_points));
         BenchJson().records.emplace_back(record);
       }
     }

@@ -42,8 +42,22 @@ struct PoolStats {
   int64_t plan_cache_hits = 0;        ///< Group-plan cache lookups served.
   int64_t plan_cache_misses = 0;      ///< Lookups that had to plan fresh.
   int64_t plan_cache_replans = 0;     ///< Expired entries re-planned later.
+  int64_t plan_cache_seeds = 0;       ///< Pair plans adopted from edge tests.
   int64_t plan_cache_evictions = 0;   ///< Entries dropped on member departure.
   int64_t reverse_index_fanout = 0;   ///< Owners dirtied via member->owners.
+};
+
+/// Travel-time-oracle work counters of one run (filled by WatterPlatform
+/// from the scenario's oracle; zero elsewhere). Unlike PoolStats these are
+/// *diagnostic, not deterministic*: the increments are deliberately racy
+/// (travel_time_oracle.h), so multi-threaded runs may drop a few counts,
+/// and the two geo backends intentionally issue different query totals.
+/// Determinism comparisons exclude them, like wall-clock fields.
+struct GeoStats {
+  int64_t queries = 0;        ///< Point results answered (batched or not).
+  int64_t batches = 0;        ///< Batch calls (ManyToOne/OneToMany/ManyToMany).
+  int64_t batch_points = 0;   ///< Batched endpoints; /batches = mean width.
+  double bucket_build_seconds = 0.0;  ///< Bucket-CH scatter time (0 if unused).
 };
 
 /// Aggregated results of one simulation run.
@@ -67,6 +81,10 @@ struct MetricsReport {
   double fleet_utilization = 0.0;
   /// Pool/planner work counters (filled by WatterPlatform; zero elsewhere).
   PoolStats pool;
+  /// Travel-time-oracle work counters (filled by WatterPlatform; zero
+  /// elsewhere). Cumulative over the oracle's lifetime, which includes
+  /// scenario generation's shortest-cost sampling.
+  GeoStats geo;
 
   /// One-line summary for logs.
   std::string ToString() const;

@@ -1,0 +1,330 @@
+#include "src/geo/bucket_ch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <utility>
+
+namespace watter {
+namespace {
+
+uint64_t PairKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+         static_cast<uint32_t>(to);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+BucketChOracle::BucketChOracle(std::shared_ptr<const ContractionHierarchy> ch,
+                               size_t cache_capacity, size_t space_budget)
+    : ch_(std::move(ch)),
+      cache_capacity_(cache_capacity),
+      space_budget_(space_budget) {
+  const size_t n = static_cast<size_t>(ch_->num_nodes());
+  dist_f_.assign(n, kInfCost);
+  dist_b_.assign(n, kInfCost);
+  version_f_.assign(n, 0);
+  version_b_.assign(n, 0);
+  buckets_.resize(n);
+  space_f_.resize(n);
+  space_b_.resize(n);
+  space_built_f_.assign(n, 0);
+  space_built_b_.assign(n, 0);
+}
+
+bool BucketChOracle::CacheLookup(NodeId from, NodeId to, double* cost) const {
+  auto it = cache_.find(PairKey(from, to));
+  if (it == cache_.end()) return false;
+  *cost = it->second;
+  return true;
+}
+
+void BucketChOracle::CacheInsert(NodeId from, NodeId to, double cost) {
+  if (cache_.size() >= cache_capacity_) cache_.clear();  // Cheap epoch flush.
+  cache_.emplace(PairKey(from, to), cost);
+}
+
+template <typename Emit>
+void BucketChOracle::SearchSpace(NodeId root, bool forward, Emit&& emit) {
+  std::vector<double>& dist = forward ? dist_f_ : dist_b_;
+  std::vector<uint32_t>& version = forward ? version_f_ : version_b_;
+  ++query_version_;
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  dist[root] = 0.0;
+  version[root] = query_version_;
+  queue.push({0.0, root});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (version[v] != query_version_ || d > dist[v]) continue;
+    emit(v, d);
+    for (const Arc& arc : forward ? ch_->UpArcs(v) : ch_->DownArcs(v)) {
+      double candidate = d + arc.weight;
+      if (version[arc.to] != query_version_ || candidate < dist[arc.to]) {
+        dist[arc.to] = candidate;
+        version[arc.to] = query_version_;
+        queue.push({candidate, arc.to});
+      }
+    }
+  }
+}
+
+const std::vector<BucketChOracle::SpaceEntry>* BucketChOracle::CachedSpace(
+    NodeId root, bool forward) {
+  std::vector<std::vector<SpaceEntry>>& spaces = forward ? space_f_ : space_b_;
+  std::vector<uint8_t>& built = forward ? space_built_f_ : space_built_b_;
+  if (built[root]) return &spaces[root];
+  // A space is computed at most once per (node, direction) while the budget
+  // lasts; the stored settle order reproduces a fresh emit sequence exactly.
+  const bool adopt = space_entries_ < space_budget_;
+  std::vector<SpaceEntry>& entries = adopt ? spaces[root] : space_scratch_;
+  entries.clear();
+  SearchSpace(root, forward,
+              [&entries](NodeId v, double d) { entries.push_back({v, d}); });
+  if (!adopt) return &space_scratch_;
+  built[root] = 1;
+  space_entries_ += entries.size();
+  return &spaces[root];
+}
+
+// Same algorithm, relaxation order, and tie-breaking as
+// ContractionHierarchy::Query, over this oracle's private scratch. Kept as a
+// verbatim twin so point results are bitwise identical whichever oracle
+// answers them.
+double BucketChOracle::PointQuery(NodeId source, NodeId target) {
+  const int n = ch_->num_nodes();
+  if (source < 0 || source >= n || target < 0 || target >= n) return kInfCost;
+  if (source == target) return 0.0;
+  ++query_version_;
+  using Entry = std::pair<double, NodeId>;
+  using Queue =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>;
+  Queue forward, backward;
+  dist_f_[source] = 0.0;
+  version_f_[source] = query_version_;
+  forward.push({0.0, source});
+  dist_b_[target] = 0.0;
+  version_b_[target] = query_version_;
+  backward.push({0.0, target});
+
+  double best = kInfCost;
+  while (!forward.empty() || !backward.empty()) {
+    double front_f = forward.empty() ? kInfCost : forward.top().first;
+    double front_b = backward.empty() ? kInfCost : backward.top().first;
+    if (std::min(front_f, front_b) >= best) break;
+    if (front_f <= front_b) {
+      auto [d, v] = forward.top();
+      forward.pop();
+      if (version_f_[v] != query_version_ || d > dist_f_[v]) continue;
+      if (version_b_[v] == query_version_ && d + dist_b_[v] < best) {
+        best = d + dist_b_[v];
+      }
+      for (const Arc& arc : ch_->UpArcs(v)) {
+        double candidate = d + arc.weight;
+        if (version_f_[arc.to] != query_version_ ||
+            candidate < dist_f_[arc.to]) {
+          dist_f_[arc.to] = candidate;
+          version_f_[arc.to] = query_version_;
+          forward.push({candidate, arc.to});
+        }
+      }
+    } else {
+      auto [d, v] = backward.top();
+      backward.pop();
+      if (version_b_[v] != query_version_ || d > dist_b_[v]) continue;
+      if (version_f_[v] == query_version_ && d + dist_f_[v] < best) {
+        best = d + dist_f_[v];
+      }
+      for (const Arc& arc : ch_->DownArcs(v)) {
+        double candidate = d + arc.weight;
+        if (version_b_[arc.to] != query_version_ ||
+            candidate < dist_b_[arc.to]) {
+          dist_b_[arc.to] = candidate;
+          version_b_[arc.to] = query_version_;
+          backward.push({candidate, arc.to});
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double BucketChOracle::Cost(NodeId from, NodeId to) {
+  CountQuery();
+  if (from == to) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  double cost;
+  if (CacheLookup(from, to, &cost)) return cost;
+  cost = PointQuery(from, to);
+  CacheInsert(from, to, cost);
+  return cost;
+}
+
+// Why the batch result is bitwise identical to a Cost() loop: both compute
+// min over meeting nodes v of dist_up(endpoint_a, v) + dist_down(v,
+// endpoint_b). The pruned point query may stop before settling some v, but
+// every node it skips satisfies dist >= frontier >= best in both directions,
+// so the full-space bucket enumeration can only add candidates >= best, and
+// the labels of co-settled nodes are identical because SearchSpace is the
+// same Dijkstra (same heap, same tie-breaking) minus the stopping rule.
+void BucketChOracle::BatchAgainstApex(std::span<const NodeId> batch,
+                                      NodeId apex, bool batch_is_sources,
+                                      std::span<double> out) {
+  const NodeId n = ch_->num_nodes();
+  const bool apex_ok = apex >= 0 && apex < n;
+  // Resolve trivial and cached pairs up front; dedupe the rest into slots so
+  // each distinct endpoint's search space is computed once.
+  std::unordered_map<NodeId, int32_t> slot_of;
+  std::vector<NodeId> pending;
+  std::vector<int32_t> out_slot(batch.size(), -1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const NodeId b = batch[i];
+    if (b == apex) {  // Matches Cost(): equality wins before range checks.
+      out[i] = 0.0;
+      continue;
+    }
+    if (!apex_ok || b < 0 || b >= n) {
+      out[i] = kInfCost;
+      continue;
+    }
+    double cost;
+    const bool hit = batch_is_sources ? CacheLookup(b, apex, &cost)
+                                      : CacheLookup(apex, b, &cost);
+    if (hit) {
+      out[i] = cost;
+      continue;
+    }
+    auto [it, inserted] =
+        slot_of.try_emplace(b, static_cast<int32_t>(pending.size()));
+    if (inserted) pending.push_back(b);
+    out_slot[i] = it->second;
+  }
+  if (pending.empty()) return;
+
+  // Scatter the batch side's (memoized) search spaces into buckets (timed:
+  // this is the work the per-query oracle would redo once per pair instead
+  // of once per endpoint), then join with the apex's space — one sweep's
+  // worth of labels, a plain array after the first visit.
+  std::vector<double> best(pending.size(), kInfCost);
+  const auto build_start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < pending.size(); ++k) {
+    const int32_t slot = static_cast<int32_t>(k);
+    const std::vector<SpaceEntry>& space =
+        *CachedSpace(pending[k], /*forward=*/batch_is_sources);
+    for (const SpaceEntry& label : space) {
+      if (buckets_[label.node].empty()) touched_.push_back(label.node);
+      buckets_[label.node].push_back({slot, label.dist});
+    }
+  }
+  bucket_build_seconds_ += SecondsSince(build_start);
+  const std::vector<SpaceEntry>& apex_space =
+      *CachedSpace(apex, /*forward=*/!batch_is_sources);
+  for (const SpaceEntry& label : apex_space) {
+    for (const BucketEntry& entry : buckets_[label.node]) {
+      const double candidate = entry.dist + label.dist;
+      if (candidate < best[entry.slot]) best[entry.slot] = candidate;
+    }
+  }
+  for (NodeId v : touched_) buckets_[v].clear();
+  touched_.clear();
+
+  for (size_t k = 0; k < pending.size(); ++k) {
+    if (batch_is_sources) {
+      CacheInsert(pending[k], apex, best[k]);
+    } else {
+      CacheInsert(apex, pending[k], best[k]);
+    }
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (out_slot[i] >= 0) out[i] = best[out_slot[i]];
+  }
+}
+
+void BucketChOracle::ManyToOne(std::span<const NodeId> sources, NodeId target,
+                               std::span<double> out) {
+  CountBatch(static_cast<int64_t>(sources.size()));
+  CountQueries(static_cast<int64_t>(sources.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  BatchAgainstApex(sources, target, /*batch_is_sources=*/true, out);
+}
+
+void BucketChOracle::OneToMany(NodeId source, std::span<const NodeId> targets,
+                               std::span<double> out) {
+  CountBatch(static_cast<int64_t>(targets.size()));
+  CountQueries(static_cast<int64_t>(targets.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  BatchAgainstApex(targets, source, /*batch_is_sources=*/false, out);
+}
+
+void BucketChOracle::ManyToMany(std::span<const NodeId> sources,
+                                std::span<const NodeId> targets,
+                                std::span<double> out) {
+  CountBatch(static_cast<int64_t>(sources.size() + targets.size()));
+  CountQueries(static_cast<int64_t>(sources.size() * targets.size()));
+  const NodeId n = ch_->num_nodes();
+  const size_t num_targets = targets.size();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Backward buckets over the distinct valid targets, built once for the
+  // whole matrix; each source then contributes one forward sweep.
+  std::unordered_map<NodeId, int32_t> slot_of;
+  std::vector<NodeId> pending;
+  std::vector<int32_t> target_slot(num_targets, -1);
+  for (size_t j = 0; j < num_targets; ++j) {
+    const NodeId t = targets[j];
+    if (t < 0 || t >= n) continue;
+    auto [it, inserted] =
+        slot_of.try_emplace(t, static_cast<int32_t>(pending.size()));
+    if (inserted) pending.push_back(t);
+    target_slot[j] = it->second;
+  }
+  const auto build_start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < pending.size(); ++k) {
+    const int32_t slot = static_cast<int32_t>(k);
+    const std::vector<SpaceEntry>& space =
+        *CachedSpace(pending[k], /*forward=*/false);
+    for (const SpaceEntry& label : space) {
+      if (buckets_[label.node].empty()) touched_.push_back(label.node);
+      buckets_[label.node].push_back({slot, label.dist});
+    }
+  }
+  bucket_build_seconds_ += SecondsSince(build_start);
+
+  std::vector<double> best(pending.size(), kInfCost);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
+    std::span<double> row = out.subspan(i * num_targets, num_targets);
+    const bool s_ok = s >= 0 && s < n;
+    if (s_ok && !pending.empty()) {
+      std::fill(best.begin(), best.end(), kInfCost);
+      const std::vector<SpaceEntry>& space = *CachedSpace(s, /*forward=*/true);
+      for (const SpaceEntry& label : space) {
+        for (const BucketEntry& entry : buckets_[label.node]) {
+          const double candidate = label.dist + entry.dist;
+          if (candidate < best[entry.slot]) best[entry.slot] = candidate;
+        }
+      }
+    }
+    for (size_t j = 0; j < num_targets; ++j) {
+      if (s == targets[j]) {  // Cost() order: equality before range checks.
+        row[j] = 0.0;
+      } else if (!s_ok || target_slot[j] < 0) {
+        row[j] = kInfCost;
+      } else {
+        row[j] = best[target_slot[j]];
+        CacheInsert(s, targets[j], row[j]);
+      }
+    }
+  }
+  for (NodeId v : touched_) buckets_[v].clear();
+  touched_.clear();
+}
+
+}  // namespace watter

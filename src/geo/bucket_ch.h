@@ -1,0 +1,175 @@
+// Bucket contraction hierarchies: batched one-to-many / many-to-one /
+// many-to-many distance queries over an existing CH.
+//
+// A point-to-point CH query runs one forward upward search from the source
+// and one backward upward search from the target. When one endpoint is
+// shared across a batch — a fleet probe rates K workers against one pickup,
+// a pool insertion rates one order against all resident candidates — the
+// per-query oracle repeats the shared half K times. The bucket technique
+// (Knopp et al., "Computing Many-to-Many Shortest Paths Using Highway
+// Hierarchies", ALENEX 2007; applied to large-scale dispatching by the KIT
+// scalable-dispatcher line of work) computes each endpoint's upward search
+// space exactly once: the spaces of one batch side are scattered into
+// per-node buckets, and a single sweep from the other side joins against
+// the buckets. A K-source many-to-one batch costs K forward spaces + 1
+// backward space instead of K full bidirectional queries, and an |S| x |T|
+// many-to-many costs |S| + |T| searches instead of |S| * |T|.
+//
+// Search spaces are also *node-deterministic*: the full upward space of a
+// node never changes, so the oracle memoizes each computed space (per
+// direction, within a bounded entry budget). Across batches the dispatch
+// workload revisits the same endpoints constantly — every idle worker is
+// probed by many orders — and a revisit turns the Dijkstra into an array
+// append, which is where the bulk of the batch speedup comes from.
+//
+// Exactness: the batch result for a pair is min over meeting nodes v of
+// dist_up(s, v) + dist_down(v, t), computed from the same upward/downward
+// search graphs and the same Dijkstra relaxations as
+// ContractionHierarchy::Query — so results are bitwise identical to the
+// per-query oracle (geo_oracle_equivalence_test pins this, including
+// unreachable pairs and source == target).
+#ifndef WATTER_GEO_BUCKET_CH_H_
+#define WATTER_GEO_BUCKET_CH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geo/contraction_hierarchy.h"
+#include "src/geo/travel_time_oracle.h"
+
+namespace watter {
+
+/// Batch-first oracle over a contraction hierarchy.
+///
+/// Point queries run the same pruned bidirectional upward search as
+/// ChOracle (plus the same memo cache), so the bucket backend is never a
+/// regression for point-to-point callers; batch queries use buckets and
+/// *prime the memo cache* with every pair they answer, which is what makes
+/// the pool's per-anchor prefetch turn the planner's later point queries
+/// into cache hits.
+///
+/// Thread safety: all queries serialize behind one internal mutex (the same
+/// contract as ChOracle). The oracle keeps private search scratch — it
+/// never touches the hierarchy's own Query() buffers — so a hierarchy may
+/// be shared with a ChOracle as long as that oracle's use is serialized
+/// separately.
+class BucketChOracle : public TravelTimeOracle {
+ public:
+  /// `space_budget` caps the total entries memoized across all per-node
+  /// search spaces (~16 bytes each); past it, spaces are recomputed into
+  /// scratch instead of cached. The default (~64 MB worst case) covers every
+  /// node of the generated cities many times over.
+  explicit BucketChOracle(std::shared_ptr<const ContractionHierarchy> ch,
+                          size_t cache_capacity = 1 << 20,
+                          size_t space_budget = 1 << 22);
+
+  double Cost(NodeId from, NodeId to) override;
+  void ManyToOne(std::span<const NodeId> sources, NodeId target,
+                 std::span<double> out) override;
+  void OneToMany(NodeId source, std::span<const NodeId> targets,
+                 std::span<double> out) override;
+  void ManyToMany(std::span<const NodeId> sources,
+                  std::span<const NodeId> targets,
+                  std::span<double> out) override;
+
+  bool NativeBatch() const override { return true; }
+
+  /// Cumulative seconds spent scattering search spaces into buckets (the
+  /// batch-side preprocessing the per-query oracle has no analogue of).
+  double bucket_build_seconds() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bucket_build_seconds_;
+  }
+
+  size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+
+  /// Total entries currently memoized across per-node search spaces.
+  size_t space_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return space_entries_;
+  }
+
+ private:
+  /// One scattered search-space entry: `slot` indexes the batch-local
+  /// distinct-endpoint list, `dist` is the upward distance from (or to) it.
+  struct BucketEntry {
+    int32_t slot;
+    double dist;
+  };
+
+  /// One memoized search-space label: the settled node and its upward
+  /// distance from (or to) the space's root, in settle order.
+  struct SpaceEntry {
+    NodeId node;
+    double dist;
+  };
+
+  /// Runs a full (unpruned) upward Dijkstra from `root` over the forward or
+  /// backward search graph, invoking emit(node, dist) for every settled
+  /// node. Uses the direction's private scratch; caller holds mu_.
+  template <typename Emit>
+  void SearchSpace(NodeId root, bool forward, Emit&& emit);
+
+  /// `root`'s full search space in settle order, memoized per direction
+  /// while space_budget_ lasts (recomputed into scratch past it — the
+  /// returned pointer is then only valid until the next call). The space of
+  /// a node is deterministic, so cached and fresh spaces are identical and
+  /// batch results cannot depend on cache state. Caller holds mu_.
+  const std::vector<SpaceEntry>* CachedSpace(NodeId root, bool forward);
+
+  /// The pruned bidirectional point query (same algorithm and relaxation
+  /// order as ContractionHierarchy::Query, over private scratch).
+  double PointQuery(NodeId source, NodeId target);
+
+  /// Shared core of ManyToOne/OneToMany: answers all (batch[i], apex) or
+  /// (apex, batch[i]) pairs, `forward` naming the batch side's search
+  /// direction. Caller holds mu_.
+  void BatchAgainstApex(std::span<const NodeId> batch, NodeId apex,
+                        bool batch_is_sources, std::span<double> out);
+
+  /// Memo-cache insert with the epoch flush ChOracle uses.
+  void CacheInsert(NodeId from, NodeId to, double cost);
+  bool CacheLookup(NodeId from, NodeId to, double* cost) const;
+
+  std::shared_ptr<const ContractionHierarchy> ch_;
+  size_t cache_capacity_;
+
+  mutable std::mutex mu_;  // Guards everything below.
+  std::unordered_map<uint64_t, double> cache_;
+  double bucket_build_seconds_ = 0.0;
+
+  // Versioned Dijkstra scratch, one pair per direction, reused across
+  // queries without clearing.
+  std::vector<double> dist_f_;
+  std::vector<double> dist_b_;
+  std::vector<uint32_t> version_f_;
+  std::vector<uint32_t> version_b_;
+  uint32_t query_version_ = 0;
+
+  // Bucket scratch: buckets_[v] holds the scattered entries of the current
+  // batch; touched_ lists the non-empty buckets so clearing is O(spaces),
+  // not O(nodes).
+  std::vector<std::vector<BucketEntry>> buckets_;
+  std::vector<NodeId> touched_;
+
+  // Memoized per-node search spaces (space_f_[v] valid iff
+  // space_built_f_[v], same for backward), bounded by space_budget_ total
+  // entries; space_scratch_ receives over-budget recomputations.
+  std::vector<std::vector<SpaceEntry>> space_f_;
+  std::vector<std::vector<SpaceEntry>> space_b_;
+  std::vector<uint8_t> space_built_f_;
+  std::vector<uint8_t> space_built_b_;
+  std::vector<SpaceEntry> space_scratch_;
+  size_t space_budget_;
+  size_t space_entries_ = 0;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_GEO_BUCKET_CH_H_

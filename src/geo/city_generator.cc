@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "src/geo/bucket_ch.h"
+
 namespace watter {
 namespace {
 
@@ -80,7 +82,8 @@ Result<City> GenerateCity(const CityOptions& options) {
 }
 
 Result<std::unique_ptr<TravelTimeOracle>> BuildOracle(const Graph& graph,
-                                                      OracleKind kind) {
+                                                      OracleKind kind,
+                                                      GeoBackend backend) {
   switch (kind) {
     case OracleKind::kMatrix: {
       auto matrix = CostMatrix::Build(graph);
@@ -95,6 +98,10 @@ Result<std::unique_ptr<TravelTimeOracle>> BuildOracle(const Graph& graph,
       if (!ch.ok()) return ch.status();
       auto shared =
           std::make_shared<const ContractionHierarchy>(std::move(ch).value());
+      if (backend == GeoBackend::kBucket) {
+        return std::unique_ptr<TravelTimeOracle>(
+            new BucketChOracle(std::move(shared)));
+      }
       return std::unique_ptr<TravelTimeOracle>(
           new ChOracle(std::move(shared)));
     }

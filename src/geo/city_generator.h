@@ -62,10 +62,20 @@ enum class OracleKind {
   kDijkstra,  ///< On-demand Dijkstra rows with an LRU (no preprocessing).
 };
 
+/// How CH-backed oracles answer batch queries. Only meaningful for
+/// OracleKind::kCh: the matrix oracle is O(1) per query and the Dijkstra
+/// oracle's row cache is already batch-shaped, so both ignore this.
+enum class GeoBackend {
+  kPerQuery,  ///< ChOracle: every batch slot is an independent point query.
+  kBucket,    ///< BucketChOracle: bucket-CH batch queries (bitwise-equal
+              ///< results; default since the equivalence suite pins them).
+};
+
 /// Builds a travel-time oracle over `graph`. The graph must outlive the
 /// oracle for kDijkstra; matrix/CH oracles own their backing structure.
-Result<std::unique_ptr<TravelTimeOracle>> BuildOracle(const Graph& graph,
-                                                      OracleKind kind);
+Result<std::unique_ptr<TravelTimeOracle>> BuildOracle(
+    const Graph& graph, OracleKind kind,
+    GeoBackend backend = GeoBackend::kBucket);
 
 }  // namespace watter
 

@@ -46,15 +46,22 @@ class ContractionHierarchy {
   /// Number of shortcut arcs added during preprocessing.
   int num_shortcuts() const { return num_shortcuts_; }
 
- private:
-  ContractionHierarchy() = default;
-
+  /// The forward (upward) search graph's arcs out of `v`. Exposed so batch
+  /// backends (bucket-CH, src/geo/bucket_ch.h) can run their own searches
+  /// over the hierarchy with private scratch — sharing one hierarchy between
+  /// a ChOracle and a BucketChOracle is then safe as long as each oracle
+  /// serializes its own Query() use.
   std::span<const Arc> UpArcs(NodeId v) const {
     return {&up_arcs_[up_offsets_[v]], &up_arcs_[up_offsets_[v + 1]]};
   }
+  /// The backward search graph's arcs at `v` (Arc::to is the *tail* of the
+  /// original arc; weights are unchanged).
   std::span<const Arc> DownArcs(NodeId v) const {
     return {&down_arcs_[down_offsets_[v]], &down_arcs_[down_offsets_[v + 1]]};
   }
+
+ private:
+  ContractionHierarchy() = default;
 
   int num_nodes_ = 0;
   int num_shortcuts_ = 0;

@@ -4,6 +4,34 @@
 
 namespace watter {
 
+void TravelTimeOracle::ManyToOne(std::span<const NodeId> sources,
+                                 NodeId target, std::span<double> out) {
+  CountBatch(static_cast<int64_t>(sources.size()));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    out[i] = Cost(sources[i], target);
+  }
+}
+
+void TravelTimeOracle::OneToMany(NodeId source,
+                                 std::span<const NodeId> targets,
+                                 std::span<double> out) {
+  CountBatch(static_cast<int64_t>(targets.size()));
+  for (size_t j = 0; j < targets.size(); ++j) {
+    out[j] = Cost(source, targets[j]);
+  }
+}
+
+void TravelTimeOracle::ManyToMany(std::span<const NodeId> sources,
+                                  std::span<const NodeId> targets,
+                                  std::span<double> out) {
+  CountBatch(static_cast<int64_t>(sources.size() + targets.size()));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      out[i * targets.size() + j] = Cost(sources[i], targets[j]);
+    }
+  }
+}
+
 double ChOracle::Cost(NodeId from, NodeId to) {
   CountQuery();
   if (from == to) return 0.0;

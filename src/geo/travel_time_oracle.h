@@ -13,6 +13,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -24,7 +25,16 @@ namespace watter {
 
 /// Abstract shortest-travel-time provider.
 ///
-/// Thread safety: Cost() may be called concurrently from the platform's
+/// Besides the point-to-point Cost(), every oracle answers *batch* queries —
+/// ManyToOne / OneToMany / ManyToMany — because the framework's two hottest
+/// access patterns are inherently batched: a fleet probe rates all candidate
+/// workers against one pickup, and a pool insertion rates one order against
+/// all resident candidates. The base class implements the batch calls as
+/// Cost() loops (exactly the code the callers used to inline), so every
+/// backend is batch-callable; BucketChOracle overrides them with genuinely
+/// batched bucket-CH searches that share work across the batch.
+///
+/// Thread safety: all queries may be called concurrently from the platform's
 /// parallel check/maintenance loops. MatrixOracle is wait-free (const table
 /// reads); the caching oracles serialize behind an internal mutex.
 class TravelTimeOracle {
@@ -36,24 +46,75 @@ class TravelTimeOracle {
   /// multiple threads.
   virtual double Cost(NodeId from, NodeId to) = 0;
 
-  /// Number of queries answered (diagnostics).
+  /// Batch query: out[i] = Cost(sources[i], target). `out` must have
+  /// sources.size() slots. Results are exactly the values the equivalent
+  /// Cost() loop would produce (the equivalence suite pins this for the
+  /// bucket backend).
+  virtual void ManyToOne(std::span<const NodeId> sources, NodeId target,
+                         std::span<double> out);
+
+  /// Batch query: out[j] = Cost(source, targets[j]). `out` must have
+  /// targets.size() slots.
+  virtual void OneToMany(NodeId source, std::span<const NodeId> targets,
+                         std::span<double> out);
+
+  /// Batch query: out[i * targets.size() + j] = Cost(sources[i],
+  /// targets[j]) (row-major). `out` must have sources.size() *
+  /// targets.size() slots.
+  virtual void ManyToMany(std::span<const NodeId> sources,
+                          std::span<const NodeId> targets,
+                          std::span<double> out);
+
+  /// True when the batch calls are genuinely batched rather than the base
+  /// class's Cost() loops. Callers use this to decide whether cache-priming
+  /// prefetches (e.g. the shareability graph's per-anchor candidate batch)
+  /// pay for themselves.
+  virtual bool NativeBatch() const { return false; }
+
+  /// Seconds spent building bucket structures (bucket-CH only; 0 elsewhere).
+  virtual double bucket_build_seconds() const { return 0.0; }
+
+  /// Number of point queries answered, batched or not (diagnostics).
   int64_t query_count() const {
     return query_count_.load(std::memory_order_relaxed);
   }
 
+  /// Number of batch calls answered (diagnostics).
+  int64_t batch_count() const {
+    return batch_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Total batched endpoints across all batch calls: sources for
+  /// many-to-one, targets for one-to-many, both for many-to-many. Divided
+  /// by batch_count() this is the mean batch width the consumers achieve.
+  int64_t batch_points() const {
+    return batch_points_.load(std::memory_order_relaxed);
+  }
+
  protected:
-  // Deliberately a non-atomic read-modify-write (racy increments may be
+  // Deliberately non-atomic read-modify-writes (racy increments may be
   // lost): Cost() is the hottest call in the tree and a lock-prefixed
-  // fetch_add here costs several percent end-to-end. The counter is purely
-  // diagnostic; the relaxed atomic accesses keep it TSan-clean and exact
+  // fetch_add here costs several percent end-to-end. The counters are purely
+  // diagnostic; the relaxed atomic accesses keep them TSan-clean and exact
   // whenever queries are serial.
-  void CountQuery() {
-    query_count_.store(query_count_.load(std::memory_order_relaxed) + 1,
+  void CountQuery() { CountQueries(1); }
+
+  void CountQueries(int64_t n) {
+    query_count_.store(query_count_.load(std::memory_order_relaxed) + n,
                        std::memory_order_relaxed);
+  }
+
+  void CountBatch(int64_t points) {
+    batch_count_.store(batch_count_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    batch_points_.store(batch_points_.load(std::memory_order_relaxed) + points,
+                        std::memory_order_relaxed);
   }
 
  private:
   std::atomic<int64_t> query_count_{0};
+  std::atomic<int64_t> batch_count_{0};
+  std::atomic<int64_t> batch_points_{0};
 };
 
 /// Oracle backed by a dense all-pairs matrix: O(1) per query.

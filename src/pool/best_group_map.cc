@@ -1,6 +1,7 @@
 #include "src/pool/best_group_map.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace watter {
 namespace {
@@ -271,6 +272,30 @@ void BestGroupMap::RefreshInternal(const std::vector<OrderId>& anchors,
   for (size_t i = 0; i < anchors.size(); ++i) {
     Commit(anchors[i], std::move(results[i]));
   }
+}
+
+void BestGroupMap::SeedPlan(const Order& order, const Order& other,
+                            const GroupPlan& plan) {
+  const OrderId members[] = {std::min(order.id, other.id),
+                             std::max(order.id, other.id)};
+  GroupKey key{std::span<const OrderId>(members)};
+  // Never overwrite: an existing entry is at least as fresh as the seed
+  // (both are exact plans; Put's reverse index also assumes first-insert).
+  if (plan_cache_.Find(key) != nullptr) return;
+
+  CachedGroupPlan entry;
+  entry.feasible = true;
+  entry.plan = plan;
+  if (order.id > other.id) {
+    // PlanGroup aligns completion with the sorted member ids; the edge plan
+    // was computed with input order {order, other}.
+    std::swap(entry.plan.completion[0], entry.plan.completion[1]);
+  }
+  entry.sum_detour = (plan.completion[0] - order.shortest_cost) +
+                     (plan.completion[1] - other.shortest_cost);
+  entry.sum_release = order.release + other.release;
+  plan_cache_.Put(key, std::move(entry));
+  ++plan_cache_seeds_;
 }
 
 void BestGroupMap::Recompute(OrderId id, Time now) {

@@ -109,6 +109,14 @@ class BestGroupMap {
   /// every refreshed id until the graph next changes.
   const BestGroup* PeekBest(OrderId id, Time now) const;
 
+  /// Seeds the shared plan cache with a pair plan the shareability graph
+  /// already computed while certifying the edge {order, other} (see
+  /// PairPlanSeed). `plan.completion` must be aligned to the input order
+  /// {order, other}; it is re-aligned to sorted member ids here, matching
+  /// what PlanGroup would produce. No-op if the pair is already cached, so
+  /// seeding never clobbers a fresher entry.
+  void SeedPlan(const Order& order, const Order& other, const GroupPlan& plan);
+
   /// Forces recomputation of `id` at `now` (used by tests/benches).
   void Recompute(OrderId id, Time now);
 
@@ -129,6 +137,9 @@ class BestGroupMap {
   int64_t plan_cache_hits() const { return plan_cache_hits_; }
   int64_t plan_cache_misses() const { return plan_cache_misses_; }
   int64_t plan_cache_replans() const { return plan_cache_replans_; }
+  /// Pair plans adopted from ShareabilityGraph::Insert instead of being
+  /// re-planned by a refresh (SeedPlan calls that actually inserted).
+  int64_t plan_cache_seeds() const { return plan_cache_seeds_; }
   int64_t plan_cache_evictions() const { return plan_cache_.evictions(); }
   size_t plan_cache_size() const { return plan_cache_.size(); }
   /// Owners dirtied through the reverse-membership index by departures.
@@ -221,6 +232,7 @@ class BestGroupMap {
   int64_t plan_cache_hits_ = 0;
   int64_t plan_cache_misses_ = 0;
   int64_t plan_cache_replans_ = 0;
+  int64_t plan_cache_seeds_ = 0;
   int64_t reverse_index_fanout_ = 0;
 };
 

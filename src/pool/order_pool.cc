@@ -3,8 +3,16 @@
 namespace watter {
 
 Status OrderPool::Insert(const Order& order, Time now) {
-  auto gained = graph_.Insert(order, now);
+  std::vector<PairPlanSeed> seeds;
+  auto gained = graph_.Insert(order, now, &seeds);
   if (!gained.ok()) return gained.status();
+  // Seed the group-plan cache with the pair plans edge certification just
+  // computed: the next RefreshBestGroups would otherwise re-plan exactly
+  // these member sets as cache misses.
+  for (const PairPlanSeed& seed : seeds) {
+    const Order* other = graph_.GetOrder(seed.other);
+    if (other != nullptr) best_.SeedPlan(order, *other, seed.plan);
+  }
   best_.MarkDirty(order.id);
   for (OrderId neighbor : *gained) best_.MarkDirty(neighbor);
   return Status::Ok();

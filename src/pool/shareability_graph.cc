@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <string>
+#include <utility>
 
 namespace watter {
 namespace {
@@ -28,8 +29,8 @@ bool RouteInterleaves(const Route& route) {
 
 }  // namespace
 
-Result<std::vector<OrderId>> ShareabilityGraph::Insert(const Order& order,
-                                                       Time now) {
+Result<std::vector<OrderId>> ShareabilityGraph::Insert(
+    const Order& order, Time now, std::vector<PairPlanSeed>* pair_plans) {
   if (entries_.count(order.id) > 0) {
     return Status::AlreadyExists("order " + std::to_string(order.id) +
                                  " already pooled");
@@ -38,40 +39,13 @@ Result<std::vector<OrderId>> ShareabilityGraph::Insert(const Order& order,
   entry.order = order;
   entry.inserted_at = now;
 
-  std::vector<OrderId> gained;
-  bool parallel = executor_ != nullptr && executor_->num_threads() > 1 &&
-                  entries_.size() > kParallelGrain;
-  if (!parallel) {
-    // Serial fast path: one pass, no scratch allocations. Edge *order*
-    // within an adjacency list is unobservable (consumers sort or scan),
-    // so this path and the sorted parallel commit below yield identical
-    // behavior; see the ParallelMaintenanceMatchesSerial property.
-    for (auto& [other_id, other] : entries_) {
-      const Order& candidate = other.order;
-      // Sound quick rejects: an order past its latest dispatch can never be
-      // part of a feasible route, and the planner would discover that the
-      // expensive way.
-      if (now > order.LatestDispatch() || now > candidate.LatestDispatch()) {
-        continue;
-      }
-      ++pair_tests_;
-      auto plan = planner_->PlanBest({&entry.order, &candidate}, now,
-                                     options_.capacity);
-      if (!plan.ok()) continue;
-      if (options_.require_overlap && !RouteInterleaves(plan->route)) continue;
-      entry.edges.push_back(
-          ShareEdge{other_id, plan->latest_departure, plan->total_cost});
-      other.edges.push_back(
-          ShareEdge{order.id, plan->latest_departure, plan->total_cost});
-      ++edge_count_;
-      gained.push_back(other_id);
-    }
-    entries_.emplace(order.id, std::move(entry));
-    return gained;
-  }
-
-  // Parallel path. Candidate partners in ascending-id order: deterministic
-  // regardless of hash-map iteration and of the executor's thread count.
+  // Candidate partners in ascending-id order, quick-rejected up front: an
+  // order past its latest dispatch can never be part of a feasible route,
+  // and the planner would discover that the expensive way. One sorted list
+  // serves the serial and parallel paths alike — adjacency *order* is
+  // unobservable (CliqueEnumerator sorts, every other consumer scans), so
+  // unifying on sorted ids changes no behavior; see the
+  // ParallelMaintenanceMatchesSerial property.
   std::vector<OrderId> candidates;
   if (now <= order.LatestDispatch()) {
     candidates.reserve(entries_.size());
@@ -81,35 +55,76 @@ Result<std::vector<OrderId>> ShareabilityGraph::Insert(const Order& order,
     }
     std::sort(candidates.begin(), candidates.end());
   }
+  pair_tests_ += static_cast<int64_t>(candidates.size());
+
+  // Batch prefetch for natively batched oracles: every pair plan below needs
+  // costs between the new order's endpoints and the candidate's, so issue
+  // them as four anchor-shaped batches (one per direction per endpoint).
+  // The bucket backend answers each with two search spaces for the anchor
+  // plus one per distinct candidate node — and primes its memo cache, which
+  // turns the planner's point queries into hits. Results are discarded; the
+  // batches are bitwise-equal to the Cost() calls they pre-answer, so this
+  // cannot change any plan.
+  TravelTimeOracle* oracle = planner_->oracle();
+  if (oracle->NativeBatch() && !candidates.empty()) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(candidates.size() * 2);
+    for (OrderId id : candidates) {
+      const Order& candidate = entries_.find(id)->second.order;
+      nodes.push_back(candidate.pickup);
+      nodes.push_back(candidate.dropoff);
+    }
+    std::vector<double> scratch(nodes.size());
+    oracle->OneToMany(order.pickup, nodes, scratch);
+    oracle->OneToMany(order.dropoff, nodes, scratch);
+    oracle->ManyToOne(nodes, order.pickup, scratch);
+    oracle->ManyToOne(nodes, order.dropoff, scratch);
+  }
 
   // Fan-out phase: pair-feasibility tests are pure (planner + oracle are
   // thread-safe; the graph is not mutated), each writing only its own slot.
-  std::vector<std::optional<ShareEdge>> tested;
-  executor_->ParallelMap(
-      candidates.size(), kParallelGrain, &tested,
-      [&](size_t i) -> std::optional<ShareEdge> {
-        const Order& candidate = entries_.find(candidates[i])->second.order;
-        auto plan = planner_->PlanBest({&entry.order, &candidate}, now,
-                                       options_.capacity);
-        if (!plan.ok()) return std::nullopt;
-        if (options_.require_overlap && !RouteInterleaves(plan->route)) {
-          return std::nullopt;
-        }
-        return ShareEdge{candidates[i], plan->latest_departure,
-                         plan->total_cost};
-      });
-  pair_tests_ += static_cast<int64_t>(candidates.size());
+  struct TestedEdge {
+    ShareEdge edge;
+    GroupPlan plan;
+  };
+  auto test_pair = [&](size_t i) -> std::optional<TestedEdge> {
+    const Order& candidate = entries_.find(candidates[i])->second.order;
+    auto plan = planner_->PlanBest({&entry.order, &candidate}, now,
+                                   options_.capacity);
+    if (!plan.ok()) return std::nullopt;
+    if (options_.require_overlap && !RouteInterleaves(plan->route)) {
+      return std::nullopt;
+    }
+    ShareEdge edge{candidates[i], plan->latest_departure, plan->total_cost};
+    return TestedEdge{edge, std::move(plan).value()};
+  };
+  std::vector<std::optional<TestedEdge>> tested;
+  bool parallel = executor_ != nullptr && executor_->num_threads() > 1 &&
+                  candidates.size() > kParallelGrain;
+  if (parallel) {
+    executor_->ParallelMap(candidates.size(), kParallelGrain, &tested,
+                           test_pair);
+  } else {
+    tested.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      tested.push_back(test_pair(i));
+    }
+  }
 
   // Ordered commit: mirror each surviving edge on both endpoints, ascending
-  // by candidate id.
-  for (const std::optional<ShareEdge>& edge : tested) {
-    if (!edge.has_value()) continue;
-    entry.edges.push_back(*edge);
-    entries_.find(edge->other)
+  // by candidate id, and surface the plan behind it for cache seeding.
+  std::vector<OrderId> gained;
+  for (std::optional<TestedEdge>& t : tested) {
+    if (!t.has_value()) continue;
+    entry.edges.push_back(t->edge);
+    entries_.find(t->edge.other)
         ->second.edges.push_back(
-            ShareEdge{order.id, edge->expiry, edge->pair_cost});
+            ShareEdge{order.id, t->edge.expiry, t->edge.pair_cost});
     ++edge_count_;
-    gained.push_back(edge->other);
+    gained.push_back(t->edge.other);
+    if (pair_plans != nullptr) {
+      pair_plans->push_back(PairPlanSeed{t->edge.other, std::move(t->plan)});
+    }
   }
   entries_.emplace(order.id, std::move(entry));
   return gained;

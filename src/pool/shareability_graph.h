@@ -35,6 +35,15 @@ struct ShareEdge {
   double pair_cost = 0.0;  ///< Minimal travel cost of the shared route.
 };
 
+/// A pair plan Insert computed while certifying an edge, surfaced so the
+/// caller can seed the group-plan cache instead of re-planning the same pair
+/// during the next RefreshBestGroups. `plan.completion` is aligned to the
+/// input order {inserted order, other}, not to sorted member ids.
+struct PairPlanSeed {
+  OrderId other = kInvalidOrder;
+  GroupPlan plan;
+};
+
 /// Configuration of edge creation.
 struct ShareabilityOptions {
   /// Vehicle capacity assumed when testing pair routes (the fleet's max).
@@ -63,8 +72,12 @@ class ShareabilityGraph {
 
   /// Inserts `order` at time `now`, computing edges against every resident
   /// order. Returns the ids of existing orders that gained an edge (their
-  /// best group may improve). AlreadyExists if the id is resident.
-  Result<std::vector<OrderId>> Insert(const Order& order, Time now);
+  /// best group may improve). AlreadyExists if the id is resident. When
+  /// `pair_plans` is non-null it receives the plan behind every new edge
+  /// (ascending by neighbor id) so callers can seed their plan caches.
+  Result<std::vector<OrderId>> Insert(
+      const Order& order, Time now,
+      std::vector<PairPlanSeed>* pair_plans = nullptr);
 
   /// Removes an order and all its edges. Returns the ids of former
   /// neighbors. NotFound if absent.

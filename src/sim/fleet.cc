@@ -31,18 +31,25 @@ WorkerId Fleet::FindClosestIdle(NodeId target, int min_capacity,
       [this, min_capacity](int64_t id) {
         return workers_[id - 1].capacity >= min_capacity;
       });
-  // Exact refinement of the Euclidean pre-filter. Deliberately serial:
-  // with the default matrix oracle each Cost() is one array read, and the
-  // caching oracles serialize behind their internal mutex anyway, so a
-  // parallel probe would only pay the pool's wake/join overhead.
+  // Exact refinement of the Euclidean pre-filter, issued as one many-to-one
+  // batch: all candidate workers share `target`, which is exactly the shape
+  // the bucket-CH backend answers with K forward spaces + 1 backward sweep
+  // instead of K bidirectional queries. Batch results equal the Cost() loop
+  // bitwise, so the selection below is backend-independent. Buffers are
+  // local because the batched dispatch engine probes concurrently.
+  std::vector<NodeId> probe_locations;
+  probe_locations.reserve(nearby.size());
+  for (int64_t id : nearby) {
+    probe_locations.push_back(workers_[id - 1].location);
+  }
+  std::vector<double> probe_costs(probe_locations.size());
+  oracle->ManyToOne(probe_locations, target, probe_costs);
   WorkerId best = kInvalidWorker;
   double best_cost = kInfCost;
-  for (int64_t id : nearby) {
-    const Worker& worker = workers_[id - 1];
-    double cost = oracle->Cost(worker.location, target);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = worker.id;
+  for (size_t i = 0; i < nearby.size(); ++i) {
+    if (probe_costs[i] < best_cost) {
+      best_cost = probe_costs[i];
+      best = workers_[nearby[i] - 1].id;
     }
   }
   return best;

@@ -448,8 +448,17 @@ MetricsReport WatterPlatform::Run() {
   report.pool.plan_cache_replans = pool_.best_groups().plan_cache_replans();
   report.pool.plan_cache_evictions =
       pool_.best_groups().plan_cache_evictions();
+  report.pool.plan_cache_seeds = pool_.best_groups().plan_cache_seeds();
   report.pool.reverse_index_fanout =
       pool_.best_groups().reverse_index_fanout();
+  // Oracle-side counters: diagnostic only (racy increments, backend-specific
+  // totals); cumulative since oracle construction, so they include scenario
+  // generation's shortest-cost sampling.
+  const TravelTimeOracle& oracle = *scenario_->oracle;
+  report.geo.queries = oracle.query_count();
+  report.geo.batches = oracle.batch_count();
+  report.geo.batch_points = oracle.batch_points();
+  report.geo.bucket_build_seconds = oracle.bucket_build_seconds();
   return report;
 }
 

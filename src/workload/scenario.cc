@@ -46,7 +46,7 @@ Result<Scenario> GenerateScenario(const WorkloadOptions& options) {
   if (!city.ok()) return city.status();
   scenario.city = std::make_shared<City>(std::move(city).value());
 
-  auto oracle = BuildOracle(scenario.city->graph, options.oracle);
+  auto oracle = BuildOracle(scenario.city->graph, options.oracle, options.geo);
   if (!oracle.ok()) return oracle.status();
   scenario.oracle = std::move(oracle).value();
 

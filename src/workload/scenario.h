@@ -35,6 +35,10 @@ struct WorkloadOptions {
   int city_height = 32;
   double cell_seconds = 60.0;
   OracleKind oracle = OracleKind::kMatrix;
+  /// Batch backend for CH oracles (ignored by kMatrix/kDijkstra). Bucket and
+  /// per-query backends return bitwise-identical costs, so this only moves
+  /// runtime, never metrics.
+  GeoBackend geo = GeoBackend::kBucket;
   /// Threads the platform's check loop and pool maintenance run on when
   /// simulating this scenario (results are thread-count-independent).
   /// 1 = serial; 0 = use all hardware threads. SimOptions can override.

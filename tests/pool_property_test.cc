@@ -465,6 +465,63 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PoolChurnPropertyTest,
                          testing::Values(17, 901, 6006));
 
 // ---------------------------------------------------------------------------
+// Plan-cache seeding from edge certification.
+// ---------------------------------------------------------------------------
+
+// Inserting an order plans a pair route for every edge it certifies; those
+// plans are seeded into the group-plan cache, so the first refresh touching
+// the pair must be a pure hit — zero additional planner calls — instead of
+// the miss it was before seeding.
+TEST(PlanCacheSeedingTest, InsertSeedsPairPlansThatRefreshHitsWithoutReplan) {
+  constexpr double kMin = 60.0;
+  Graph graph = testutil::MakeExample1Graph();
+  DijkstraOracle oracle(&graph);
+  OrderPool pool(&oracle, PoolOptions{});
+  BestGroupMap& map = pool.best_groups();
+
+  auto corridor = [&](OrderId id) {
+    return Order{.id = id, .pickup = testutil::kD, .dropoff = testutil::kF,
+                 .riders = 1, .release = 0.0, .deadline = 60 * kMin,
+                 .wait_limit = 10 * kMin, .shortest_cost = 2 * kMin};
+  };
+  ASSERT_TRUE(pool.Insert(corridor(1), 0.0).ok());
+  ASSERT_TRUE(pool.Insert(corridor(2), 0.0).ok());
+  ASSERT_TRUE(pool.graph().HasEdge(1, 2));
+  EXPECT_EQ(map.plan_cache_seeds(), 1);
+  EXPECT_EQ(map.plan_cache_size(), 1);
+
+  // The refresh finds {1,2} already planned: a hit, no misses, no replans,
+  // and — the point of seeding — not one extra planner call.
+  int64_t plans_before = pool.planner().plan_count();
+  const BestGroup* best = pool.BestFor(1, 0.0);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->members, (std::vector<OrderId>{1, 2}));
+  EXPECT_EQ(map.plan_cache_hits(), 1);
+  EXPECT_EQ(map.plan_cache_misses(), 0);
+  EXPECT_EQ(map.plan_cache_replans(), 0);
+  EXPECT_EQ(pool.planner().plan_count(), plans_before);
+
+  // The seeded plan must equal what the planner would produce for the
+  // sorted member set (completion re-aligned from edge input order).
+  auto direct = pool.planner().PlanBest(
+      {pool.GetOrder(1), pool.GetOrder(2)}, 0.0, pool.options().capacity);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(best->plan.total_cost, direct->total_cost);
+  EXPECT_EQ(best->plan.latest_departure, direct->latest_departure);
+  ASSERT_EQ(best->plan.completion.size(), direct->completion.size());
+  for (size_t i = 0; i < direct->completion.size(); ++i) {
+    EXPECT_EQ(best->plan.completion[i], direct->completion[i]) << i;
+  }
+
+  // Anchor 2 reuses the same cached entry: still no planner traffic (the
+  // snapshot excludes the direct verification call above).
+  plans_before = pool.planner().plan_count();
+  EXPECT_NE(pool.BestFor(2, 0.0), nullptr);
+  EXPECT_EQ(map.plan_cache_hits(), 2);
+  EXPECT_EQ(pool.planner().plan_count(), plans_before);
+}
+
+// ---------------------------------------------------------------------------
 // Plan-cache soundness under truncated enumeration.
 // ---------------------------------------------------------------------------
 
@@ -494,16 +551,21 @@ TEST(PlanCacheTruncationTest, TruncatedSearchIsNeverACachedNegative) {
   ASSERT_TRUE(pool.Insert(corridor(3, 4.2 * kMin), 0.0).ok());
   ASSERT_TRUE(pool.Insert(corridor(9, 60 * kMin), 0.0).ok());
   ASSERT_TRUE(pool.graph().HasEdge(1, 9));
+  BestGroupMap& map = pool.best_groups();
+  // Every certified edge seeded its pair plan into the cache at insert.
+  EXPECT_EQ(map.plan_cache_seeds(), pool.graph().edge_count());
 
   // At t = 5 min every group containing 2 or 3 is infeasible (their
   // deadlines pass before any route could finish), but edges have not been
   // trimmed. Enumeration from anchor 1 visits {1,2} then {1,2,3} and hits
   // the 2-visit budget — the feasible {1,9} is beyond the clipped prefix.
+  // {1,2} was seeded at insert but its route expired with 2's deadline, so
+  // the scan re-plans it; {1,2,3} was never planned and is the one miss.
   Time now = 5 * kMin;
-  BestGroupMap& map = pool.best_groups();
   int64_t plans_before = pool.planner().plan_count();
   EXPECT_EQ(pool.BestFor(1, now), nullptr);
-  EXPECT_EQ(map.plan_cache_misses(), 2);  // {1,2} and {1,2,3} planned...
+  EXPECT_EQ(map.plan_cache_misses(), 1);  // {1,2,3} planned fresh...
+  EXPECT_EQ(map.plan_cache_replans(), 1);  // ...and seeded {1,2} re-planned.
   EXPECT_EQ(pool.planner().plan_count(), plans_before + 2);
 
   // ...but the truncated "no group" outcome was not cached as negative: the

@@ -45,8 +45,13 @@ WorkloadOptions DeterminismWorkload(uint64_t seed) {
 }
 
 RunOutcome RunWithThreads(uint64_t seed, int num_threads,
-                          double cancellation_hazard, DispatchMode dispatch) {
-  auto scenario = GenerateScenario(DeterminismWorkload(seed));
+                          double cancellation_hazard, DispatchMode dispatch,
+                          OracleKind oracle = OracleKind::kMatrix,
+                          GeoBackend geo = GeoBackend::kBucket) {
+  WorkloadOptions workload = DeterminismWorkload(seed);
+  workload.oracle = oracle;
+  workload.geo = geo;
+  auto scenario = GenerateScenario(workload);
   EXPECT_TRUE(scenario.ok()) << scenario.status().ToString();
   if (!scenario.ok()) return {};
   OnlineThresholdProvider provider;
@@ -124,6 +129,56 @@ TEST_P(ParallelDeterminismTest, CancellationRandomnessIsThreadInvariant) {
   }
 }
 
+std::string CaseName(
+    const testing::TestParamInfo<std::tuple<uint64_t, DispatchMode>>& info) {
+  return (std::get<1>(info.param) == DispatchMode::kBatched ? "batched_s"
+                                                            : "serial_s") +
+         std::to_string(std::get<0>(info.param));
+}
+
+// Geo-backend axis: with a CH-backed city, the per-query and bucket-CH
+// backends must produce bit-identical simulations — same metrics, same
+// served/expired sets — in both engines at every thread count. This is the
+// end-to-end face of the oracle-equivalence suite's bitwise claim: because
+// every batch slot equals its Cost() twin to the last ulp, swapping the
+// backend may only move runtime, never a decision. The geo counters in
+// MetricsReport::geo are excluded like wall-clock (the backends intentionally
+// issue different query counts, and the racy diagnostic increments are not
+// thread-invariant).
+class GeoBackendDeterminismTest
+    : public testing::TestWithParam<std::tuple<uint64_t, DispatchMode>> {
+ protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  DispatchMode dispatch() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(GeoBackendDeterminismTest, BucketAndPerQueryBackendsAgreeBitwise) {
+  RunOutcome reference = RunWithThreads(seed(), 1, 0.0, dispatch(),
+                                        OracleKind::kCh,
+                                        GeoBackend::kPerQuery);
+  ASSERT_GT(reference.report.served, 0);
+  ASSERT_FALSE(reference.served.empty());
+  for (int threads : {2, 8}) {
+    ExpectIdentical(reference,
+                    RunWithThreads(seed(), threads, 0.0, dispatch(),
+                                   OracleKind::kCh, GeoBackend::kPerQuery),
+                    threads);
+  }
+  for (int threads : {1, 2, 8}) {
+    ExpectIdentical(reference,
+                    RunWithThreads(seed(), threads, 0.0, dispatch(),
+                                   OracleKind::kCh, GeoBackend::kBucket),
+                    threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, GeoBackendDeterminismTest,
+    testing::Combine(testing::Values(7, 990017),
+                     testing::Values(DispatchMode::kSerial,
+                                     DispatchMode::kBatched)),
+    CaseName);
+
 TEST(BatchedDispatchTest, EveryOrderAccountedAndComparableToSerial) {
   // Sanity on the engine itself (beyond thread invariance): all orders are
   // served or rejected exactly once, and the batched engine stays in the
@@ -135,13 +190,6 @@ TEST(BatchedDispatchTest, EveryOrderAccountedAndComparableToSerial) {
   ASSERT_GT(batched.report.served, 0);
   EXPECT_GT(batched.report.service_rate,
             0.8 * serial.report.service_rate);
-}
-
-std::string CaseName(
-    const testing::TestParamInfo<std::tuple<uint64_t, DispatchMode>>& info) {
-  return (std::get<1>(info.param) == DispatchMode::kBatched ? "batched_s"
-                                                            : "serial_s") +
-         std::to_string(std::get<0>(info.param));
 }
 
 INSTANTIATE_TEST_SUITE_P(

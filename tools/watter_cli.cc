@@ -22,6 +22,11 @@
 //   default — its cost-ranked commits serve more orders under contention,
 //   see docs/PERFORMANCE.md) or the paper-faithful sequential loop. Either
 //   engine is deterministic for any --threads.
+//   --geo per-query|bucket [bucket] — travel-time oracle backend for the
+//   CH-backed datasets (nyc/xia): the batched bucket-CH oracle (default,
+//   src/geo/bucket_ch.h) or the per-query CH oracle. The two are bitwise
+//   equivalent (tests/geo_oracle_equivalence_test.cc) — the flag only moves
+//   runtime, never a metric. Ignored by the matrix-oracle cdc dataset.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,7 +72,8 @@ struct CliArgs {
                "                  --tau X --eta X --capacity K --seed S\n"
                "                  --city-seed S --duration HOURS\n"
                "                  --threads T (0 = all hardware threads)\n"
-               "                  --dispatch serial|batched (default batched)\n");
+               "                  --dispatch serial|batched (default batched)\n"
+               "                  --geo per-query|bucket (default bucket)\n");
   std::exit(2);
 }
 
@@ -127,6 +133,15 @@ CliArgs Parse(int argc, char** argv) {
       } else {
         Usage("unknown dispatch mode (serial|batched)");
       }
+    } else if (std::strcmp(argv[i], "--geo") == 0) {
+      std::string backend = need_value("--geo");
+      if (backend == "per-query") {
+        args.workload.geo = GeoBackend::kPerQuery;
+      } else if (backend == "bucket") {
+        args.workload.geo = GeoBackend::kBucket;
+      } else {
+        Usage("unknown geo backend (per-query|bucket)");
+      }
     } else if (std::strcmp(argv[i], "--strategy") == 0) {
       args.strategy = need_value("--strategy");
     } else if (std::strcmp(argv[i], "--model") == 0) {
@@ -181,9 +196,22 @@ void PrintReport(const std::string& name, const MetricsReport& report) {
                  std::to_string(report.pool.plan_cache_replans)});
     pool.AddRow({"plan-cache evictions",
                  std::to_string(report.pool.plan_cache_evictions)});
+    pool.AddRow({"plan-cache seeds",
+                 std::to_string(report.pool.plan_cache_seeds)});
     pool.AddRow({"reverse-index fan-out",
                  std::to_string(report.pool.reverse_index_fanout)});
     pool.Print();
+  }
+  // Travel-time-oracle work counters (diagnostic, not deterministic:
+  // metrics.h, GeoStats). Batch rows only appear once a batch ran.
+  if (report.geo.queries > 0) {
+    Table geo({"geo counter", "value"});
+    geo.AddRow({"oracle queries", std::to_string(report.geo.queries)});
+    geo.AddRow({"oracle batches", std::to_string(report.geo.batches)});
+    geo.AddRow({"batched points", std::to_string(report.geo.batch_points)});
+    geo.AddRow({"bucket build (ms)",
+                Table::Num(report.geo.bucket_build_seconds * 1e3, 1)});
+    geo.Print();
   }
 }
 
