@@ -103,6 +103,49 @@ inline GeoBackend BenchGeoBackend(int argc, char** argv) {
   std::exit(2);
 }
 
+/// Shard counts for the batched engine's region-sharded commit pass:
+/// `--shards N[,N...]` or WATTER_BENCH_SHARDS, default {1} (unsharded).
+/// Metrics are shard-count-independent (sim_parallel_determinism_test), so
+/// extra shard values add rows that differ only in running time and the
+/// border-work counters; the serial engine ignores the knob.
+inline std::vector<int> BenchShardsSweep(int argc, char** argv) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) value = argv[i + 1];
+  }
+  if (value == nullptr) value = std::getenv("WATTER_BENCH_SHARDS");
+  if (value == nullptr) return {1};
+  std::vector<int> shards;
+  for (const char* p = value; *p != '\0';) {
+    char* end = nullptr;
+    long parsed = std::strtol(p, &end, 10);
+    if (end == p || parsed < 1) {
+      std::fprintf(stderr, "bad --shards value: %s\n", value);
+      std::exit(2);
+    }
+    shards.push_back(static_cast<int>(parsed));
+    p = *end == ',' ? end + 1 : end;
+  }
+  if (shards.empty()) {
+    std::fprintf(stderr, "bad --shards value: %s\n", value);
+    std::exit(2);
+  }
+  return shards;
+}
+
+/// For drivers that take one shard count per invocation: like
+/// BenchShardsSweep but rejects a comma list loudly.
+inline int SingleBenchShards(int argc, char** argv) {
+  std::vector<int> shards = BenchShardsSweep(argc, argv);
+  if (shards.size() != 1) {
+    std::fprintf(stderr,
+                 "a --shards sweep is only supported by bench_fig3_vary_n; "
+                 "pick one value\n");
+    std::exit(2);
+  }
+  return shards.front();
+}
+
 /// For drivers that run one engine per invocation: like BenchDispatchModes
 /// but rejects `both` loudly instead of silently dropping a mode.
 inline DispatchMode SingleDispatchMode(int argc, char** argv) {
@@ -126,6 +169,7 @@ struct JsonSink {
   int threads = 1;
   const char* dispatch = "batched";
   const char* geo = "bucket";
+  int shards = 1;
   std::vector<std::string> records;
 
   ~JsonSink() { Flush(); }
@@ -293,7 +337,7 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
             record, sizeof(record),
             "{\"figure\": \"%s\", \"dataset\": \"%s\", \"sweep\": \"%s\", "
             "\"value\": %s, \"algorithm\": \"%s\", \"threads\": %d, "
-            "\"dispatch\": \"%s\", \"geo\": \"%s\", "
+            "\"dispatch\": \"%s\", \"geo\": \"%s\", \"shards\": %d, "
             "\"served\": %lld, \"rejected\": %lld, "
             "\"metrs_objective\": %.6g, \"unified_cost\": %.6g, "
             "\"service_rate\": %.6g, \"running_time_per_order_us\": %.3f, "
@@ -306,7 +350,7 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
             figure.c_str(), DatasetName(dataset), sweep_label.c_str(),
             std::to_string(value).c_str(), algorithm.name.c_str(),
             BenchJson().threads, BenchJson().dispatch, BenchJson().geo,
-            static_cast<long long>(r.served),
+            BenchJson().shards, static_cast<long long>(r.served),
             static_cast<long long>(r.rejected), r.metrs_objective,
             r.unified_cost, r.service_rate, r.running_time_per_order * 1e6,
             static_cast<long long>(r.pool.planner_plans),

@@ -60,6 +60,23 @@ struct GeoStats {
   double bucket_build_seconds = 0.0;  ///< Bucket-CH scatter time (0 if unused).
 };
 
+/// Batched-dispatch work counters of one run (zero for the serial engine
+/// and the baselines). The offer and outcome totals are deterministic —
+/// identical across thread AND shard counts, because the sharded
+/// reconciliation is bitwise-equal to the global commit scan
+/// (docs/DISPATCH.md). The border splits measure the shard layout itself
+/// and legitimately vary with `--shards` (at 1 shard everything is
+/// interior); determinism comparisons across shard counts exclude them.
+struct DispatchStats {
+  int64_t offers = 0;             ///< Bids that reached conflict resolution.
+  int64_t committed = 0;          ///< Offers that dispatched.
+  int64_t worker_conflicts = 0;   ///< Lost the worker to a cheaper offer.
+  int64_t order_conflicts = 0;    ///< Lost a member to a cheaper offer.
+  int64_t border_offers = 0;      ///< Offers straddling a shard boundary.
+  int64_t border_affected = 0;    ///< Interior offers pulled into the
+                                  ///< reconciliation pass by a border link.
+};
+
 /// Aggregated results of one simulation run.
 struct MetricsReport {
   int64_t served = 0;
@@ -85,6 +102,9 @@ struct MetricsReport {
   /// elsewhere). Cumulative over the oracle's lifetime, which includes
   /// scenario generation's shortest-cost sampling.
   GeoStats geo;
+  /// Batched-dispatch work counters (filled by WatterPlatform's batched
+  /// engine; zero under kSerial and in the baselines).
+  DispatchStats dispatch;
 
   /// One-line summary for logs.
   std::string ToString() const;

@@ -1,0 +1,50 @@
+#include "src/sim/commit_pipeline.h"
+
+namespace watter {
+
+CommitPipeline::CommitPipeline() {
+  consumer_ = std::thread([this] { ConsumerLoop(); });
+}
+
+CommitPipeline::~CommitPipeline() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  consumer_.join();
+}
+
+void CommitPipeline::Enqueue(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void CommitPipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+void CommitPipeline::ConsumerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    running_ = true;
+    lock.unlock();
+    job();  // Strictly FIFO: one consumer, jobs run in enqueue order.
+    lock.lock();
+    running_ = false;
+    if (queue_.empty()) drain_cv_.notify_all();
+  }
+}
+
+}  // namespace watter

@@ -1,0 +1,61 @@
+// CommitPipeline: the deferred-bookkeeping stage of the sharded dispatch
+// pipeline (docs/DISPATCH.md, "Pipelining the commit").
+//
+// The sharded batched engine splits a round's commit into two halves. The
+// *state* half (fleet claims, pool removals, index updates) must finish
+// before the next round's propose phase freezes its snapshots, so it stays
+// synchronous. The *bookkeeping* half (metrics accumulation, observer
+// callbacks) reads nothing the next round writes — every job captures
+// copies of what it records — so it is enqueued here and drained by one
+// background consumer while round k+1 already proposes.
+//
+// Determinism contract: a single consumer thread executes jobs in exactly
+// the enqueue order, which the platform makes the same order the legacy
+// synchronous path used. Floating-point accumulation order — the only way
+// bookkeeping could diverge — is therefore bitwise identical to running the
+// jobs inline, for any thread or shard count. Drain() is the barrier the
+// platform calls before anything reads the metrics (threshold prologue,
+// GMM refits, the final report).
+#ifndef WATTER_SIM_COMMIT_PIPELINE_H_
+#define WATTER_SIM_COMMIT_PIPELINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace watter {
+
+/// Single-consumer FIFO executor for deferred commit bookkeeping.
+class CommitPipeline {
+ public:
+  CommitPipeline();
+  ~CommitPipeline();
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  /// Appends a job; the consumer runs jobs strictly in enqueue order.
+  /// Jobs must own (by copy or shared snapshot) everything they touch.
+  void Enqueue(std::function<void()> job);
+
+  /// Blocks until every job enqueued so far has finished executing.
+  void Drain();
+
+ private:
+  void ConsumerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals new jobs (or shutdown).
+  std::condition_variable drain_cv_;  // Signals the queue ran dry.
+  std::deque<std::function<void()>> queue_;
+  bool running_ = false;  // Consumer is inside a job (not yet drained).
+  bool stop_ = false;
+  std::thread consumer_;
+};
+
+}  // namespace watter
+
+#endif  // WATTER_SIM_COMMIT_PIPELINE_H_

@@ -65,13 +65,13 @@ std::vector<WorkerId> Fleet::IdleWorkerIds() const {
   return ids;
 }
 
-bool Fleet::TryClaim(WorkerId id) {
+bool Fleet::TryClaim(WorkerId id, int arena) {
   // A worker is claimable exactly while it sits in the idle index: driving
   // workers left it in CommitClaim, claimed ones in a previous TryClaim.
   if (!idle_index_.Contains(id)) return false;
   WATTER_CHECK_OK(idle_index_.Remove(id));
   workers_[id - 1].busy = true;
-  claimed_.insert(id);
+  claimed_.emplace(id, arena);
   return true;
 }
 
@@ -90,6 +90,18 @@ void Fleet::ReleaseClaim(WorkerId id) {
   Worker& worker = workers_[id - 1];
   worker.busy = false;
   idle_index_.Insert(id, graph_->node_point(worker.location));
+}
+
+int Fleet::ReleaseArena(int arena) {
+  std::vector<WorkerId> staged;
+  for (const auto& [id, claim_arena] : claimed_) {
+    if (claim_arena == arena) staged.push_back(id);
+  }
+  // Ascending-id rollback: the released workers re-enter the idle index in
+  // a deterministic order, so later probes never depend on map iteration.
+  std::sort(staged.begin(), staged.end());
+  for (WorkerId id : staged) ReleaseClaim(id);
+  return static_cast<int>(staged.size());
 }
 
 void Fleet::Dispatch(WorkerId id, Time until, NodeId final_node) {

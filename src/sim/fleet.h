@@ -9,7 +9,7 @@
 #define WATTER_SIM_FLEET_H_
 
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/types.h"
@@ -39,16 +39,27 @@ class Fleet {
 
   /// Two-phase dispatch, used by the batched commit pass (docs/DISPATCH.md):
   ///
-  ///   TryClaim(w)          reserve an idle worker; later probes skip it
+  ///   TryClaim(w, arena)   reserve an idle worker; later probes skip it
   ///   CommitClaim(w, ...)  finalize: busy until `until` at `final_node`
   ///   ReleaseClaim(w)      roll back an unfinalized claim; idle again
+  ///   ReleaseArena(a)      roll back every unfinalized claim in arena `a`
   ///
   /// TryClaim returns false when the worker is not currently idle (claimed
   /// or driving) — the caller's offer then loses the worker-contention
-  /// conflict. Claims are serial-phase only; they are not thread-safe.
-  bool TryClaim(WorkerId id);
+  /// conflict. `arena` tags the claim for bulk rollback: the sharded commit
+  /// pass stages each shard's claims in their own arena (border winners in
+  /// a dedicated extra arena) so a whole shard's staging can be rolled back
+  /// as one unit if it is abandoned before CommitClaim. ReleaseArena rolls
+  /// its claims back in ascending worker-id order (deterministic) and
+  /// returns how many it released. Claims are serial-phase only; they are
+  /// not thread-safe.
+  bool TryClaim(WorkerId id, int arena = 0);
   void CommitClaim(WorkerId id, Time until, NodeId final_node);
   void ReleaseClaim(WorkerId id);
+  int ReleaseArena(int arena);
+
+  /// Unfinalized claims currently outstanding (all arenas).
+  int claimed_count() const { return static_cast<int>(claimed_.size()); }
 
   /// One-shot claim + commit for the serial dispatch path. The worker must
   /// currently be idle.
@@ -76,8 +87,9 @@ class Fleet {
   std::priority_queue<BusyEntry, std::vector<BusyEntry>,
                       std::greater<BusyEntry>>
       busy_;
-  // Workers claimed but not yet committed/released (commit-pass state).
-  std::unordered_set<WorkerId> claimed_;
+  // Workers claimed but not yet committed/released, tagged with the claim
+  // arena that staged them (commit-pass state).
+  std::unordered_map<WorkerId, int> claimed_;
 };
 
 }  // namespace watter

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
@@ -21,6 +22,20 @@ int ResolveThreads(const SimOptions& options, const Scenario& scenario) {
   return threads <= 0 ? ThreadPool::DefaultThreads() : threads;
 }
 
+int ResolveShards(const SimOptions& options, const Scenario& scenario) {
+  int shards = options.num_shards != 0 ? options.num_shards
+                                       : scenario.options.num_shards;
+  return std::max(1, shards);
+}
+
+// Everything a deferred commit job records about one served member, copied
+// out of the pool before the member is removed.
+struct ServedMember {
+  Order order;
+  double response = 0.0;
+  double detour = 0.0;
+};
+
 }  // namespace
 
 WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
@@ -28,6 +43,7 @@ WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
     : scenario_(scenario),
       provider_(provider),
       options_(options),
+      num_shards_(ResolveShards(options, *scenario)),
       executor_(ResolveThreads(options, *scenario)),
       pool_(scenario->oracle.get(),
             MergePoolOptions(options.pool, *scenario)),
@@ -41,6 +57,18 @@ WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
                             scenario->city->graph.MaxCorner(),
                             options.grid_cells) {
   pool_.set_executor(&executor_);
+  // The bookkeeping pipeline exists only for the sharded batched engine;
+  // the unsharded path keeps its fully synchronous commit.
+  if (options_.dispatch == DispatchMode::kBatched && num_shards_ > 1) {
+    pipeline_ = std::make_unique<CommitPipeline>();
+  }
+}
+
+int WatterPlatform::ShardOfNode(NodeId node) const {
+  // The idle index carries the feature-grid geometry; all three platform
+  // grids share it, so any of them defines the same region partition.
+  return fleet_.idle_index().RegionOf(
+      scenario_->city->graph.node_point(node), num_shards_);
 }
 
 void WatterPlatform::Observe(const Order& order, Time now, int action,
@@ -333,13 +361,12 @@ void WatterPlatform::CommitOffer(const DispatchOffer& offer, Time now) {
   }
 }
 
-void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
-                                            Time now,
-                                            const PoolContext& context) {
-  // Serial prologue: thresholds for every order appearing in some cached
-  // best group. Providers are stateful (memo tables, feature scratch), so
-  // they are queried once per member here, in ascending id order, and the
-  // parallel propose phase below reads only this immutable map.
+std::unordered_map<OrderId, double> WatterPlatform::PrecomputeThresholds(
+    const std::vector<OrderId>& ids, Time now, const PoolContext& context) {
+  // Thresholds for every order appearing in some cached best group.
+  // Providers are stateful (memo tables, feature scratch), so they are
+  // queried once per member here, in ascending id order, and the parallel
+  // propose phase reads only the resulting immutable map.
   std::vector<OrderId> member_ids;
   for (OrderId id : ids) {
     const BestGroup* group = pool_.PeekBest(id, now);
@@ -356,6 +383,20 @@ void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
     const Order* order = pool_.GetOrder(member);
     if (order == nullptr) continue;
     thresholds.emplace(member, provider_->ThresholdFor(*order, now, context));
+  }
+  return thresholds;
+}
+
+void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
+                                            Time now,
+                                            const PoolContext& context) {
+  // Serial prologue (shared with the sharded variant).
+  std::unordered_map<OrderId, double> thresholds =
+      PrecomputeThresholds(ids, now, context);
+
+  if (num_shards_ > 1) {
+    RunDecisionLoopSharded(ids, now, thresholds);
+    return;
   }
 
   // Parallel propose: one offer slot per pooled order, each a pure function
@@ -376,8 +417,20 @@ void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
                               }),
                offers.end());
   std::vector<OfferOutcome> outcomes = ResolveOffers(&offers);
+  dispatch_stats_.offers += static_cast<int64_t>(offers.size());
   for (size_t i = 0; i < offers.size(); ++i) {
-    if (outcomes[i] == OfferOutcome::kCommitted) CommitOffer(offers[i], now);
+    switch (outcomes[i]) {
+      case OfferOutcome::kCommitted:
+        ++dispatch_stats_.committed;
+        CommitOffer(offers[i], now);
+        break;
+      case OfferOutcome::kWorkerConflict:
+        ++dispatch_stats_.worker_conflicts;
+        break;
+      case OfferOutcome::kOrderConflict:
+        ++dispatch_stats_.order_conflicts;
+        break;
+    }
   }
 
   // Serial post-sweep in ascending id order over the orders that did not
@@ -398,6 +451,206 @@ void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
       RejectOrder(order_copy, now);
     } else {
       Observe(order_copy, now, /*action=*/0, /*expired=*/false, 0.0);
+    }
+  }
+}
+
+void WatterPlatform::CommitOfferStaged(
+    const DispatchOffer& offer, Time now,
+    const std::shared_ptr<const RoundSnapshot>& snap) {
+  // State half, synchronous: finalize the staged claim and remove the
+  // members — the next round's frozen snapshots must see both. Member data
+  // is copied out first so the bookkeeping half owns everything it records.
+  std::vector<ServedMember> served;
+  served.reserve(offer.members.size());
+  for (size_t i = 0; i < offer.members.size(); ++i) {
+    const Order* member = pool_.GetOrder(offer.members[i]);
+    WATTER_CHECK(member != nullptr,
+                 "sharded commit: dispatched member left the pool");
+    double response = now - member->release;
+    // Clamp: float rounding in matrix oracles can yield -1e-5 "detours".
+    double detour =
+        std::max(0.0, offer.plan.completion[i] - member->shortest_cost);
+    served.push_back({*member, response, detour});
+  }
+  double travel = offer.pickup_delay + offer.plan.total_cost;
+  int group_size = static_cast<int>(offer.members.size());
+  fleet_.CommitClaim(offer.worker, now + travel,
+                     offer.plan.route.stops.back().node);
+  for (OrderId member : offer.members) {
+    RemoveFromIndexes(*pool_.GetOrder(member));
+    WATTER_CHECK_OK(pool_.Remove(member));
+  }
+
+  // Bookkeeping half, deferred: runs FIFO on the pipeline's consumer, in
+  // the same per-member RecordServed-then-Observe sequence CommitOffer
+  // uses, so the metric accumulation order — hence every float sum — is
+  // bitwise identical to the unsharded path.
+  pipeline_->Enqueue([this, served = std::move(served), travel, group_size,
+                      now, snap] {
+    for (const ServedMember& m : served) {
+      metrics_.RecordServed(m.order, m.response, m.detour, group_size);
+      if (observer_) {
+        DecisionObservation obs;
+        obs.order = m.order.id;
+        obs.order_ref = &m.order;
+        obs.now = now;
+        obs.action = 1;
+        obs.expired = false;
+        obs.detour = m.detour;
+        obs.demand_pickup = &snap->demand_pickup;
+        obs.demand_dropoff = &snap->demand_dropoff;
+        obs.supply = &snap->supply;
+        observer_(obs);
+      }
+    }
+    metrics_.AddWorkerTravel(travel);
+  });
+}
+
+void WatterPlatform::RejectOrderDeferred(
+    const Order& order, Time now,
+    const std::shared_ptr<const RoundSnapshot>& snap) {
+  pipeline_->Enqueue([this, order, now, snap] {
+    // Same observe-then-record sequence as RejectOrder.
+    if (observer_) {
+      DecisionObservation obs;
+      obs.order = order.id;
+      obs.order_ref = &order;
+      obs.now = now;
+      obs.action = 0;
+      obs.expired = true;
+      obs.demand_pickup = &snap->demand_pickup;
+      obs.demand_dropoff = &snap->demand_dropoff;
+      obs.supply = &snap->supply;
+      observer_(obs);
+    }
+    metrics_.RecordRejected(order);
+  });
+  RemoveFromIndexes(order);
+  WATTER_CHECK_OK(pool_.Remove(order.id));
+}
+
+void WatterPlatform::RunDecisionLoopSharded(
+    const std::vector<OrderId>& ids, Time now,
+    const std::unordered_map<OrderId, double>& thresholds) {
+  // Shard-bucketed propose: the same offer per order as the flat propose
+  // (ProposeOffer is pure over frozen state), but walked shard by shard so
+  // each shard's orders form one contiguous slice of the work list. The
+  // commit pass below re-imposes the global sorted-offers order, so the
+  // bucketed visit order never shows in the results.
+  std::vector<std::vector<OrderId>> buckets = pool_.SortedOrderIdsByRegion(
+      num_shards_,
+      [this](const Order& order) { return ShardOfNode(order.pickup); });
+  std::vector<OrderId> flat_ids;
+  flat_ids.reserve(ids.size());
+  for (const std::vector<OrderId>& bucket : buckets) {
+    flat_ids.insert(flat_ids.end(), bucket.begin(), bucket.end());
+  }
+  std::vector<DispatchOffer> offers;
+  executor_.ParallelMap(flat_ids.size(), 4, &offers, [&](size_t i) {
+    return ProposeOffer(flat_ids[i], now, thresholds);
+  });
+  offers.erase(std::remove_if(offers.begin(), offers.end(),
+                              [](const DispatchOffer& offer) {
+                                return offer.worker == kInvalidWorker;
+                              }),
+               offers.end());
+
+  // Sharded conflict resolution: home shard = worker's region, member
+  // shards = pickup regions. Both callbacks read only frozen round state
+  // (the fleet mutates after resolution, the pool only through commits).
+  OfferShardMap shard_map;
+  shard_map.num_shards = num_shards_;
+  shard_map.worker_shard = [this](WorkerId worker) {
+    return ShardOfNode(fleet_.worker(worker).location);
+  };
+  shard_map.order_shard = [this](OrderId member) {
+    return ShardOfNode(pool_.GetOrder(member)->pickup);
+  };
+  ShardedResolution resolution =
+      ResolveOffersSharded(&offers, shard_map, &executor_);
+
+  dispatch_stats_.offers += static_cast<int64_t>(offers.size());
+  dispatch_stats_.border_offers += resolution.border_offers;
+  dispatch_stats_.border_affected += resolution.border_affected;
+  for (OfferOutcome outcome : resolution.outcomes) {
+    switch (outcome) {
+      case OfferOutcome::kCommitted:
+        ++dispatch_stats_.committed;
+        break;
+      case OfferOutcome::kWorkerConflict:
+        ++dispatch_stats_.worker_conflicts;
+        break;
+      case OfferOutcome::kOrderConflict:
+        ++dispatch_stats_.order_conflicts;
+        break;
+    }
+  }
+
+  // Deferred jobs outlive this round's live snapshot vectors, so observer
+  // rounds pin a frozen copy; without an observer no job reads them.
+  std::shared_ptr<const RoundSnapshot> snap;
+  if (observer_) {
+    auto frozen = std::make_shared<RoundSnapshot>();
+    frozen->demand_pickup = demand_pickup_counts_;
+    frozen->demand_dropoff = demand_dropoff_counts_;
+    frozen->supply = supply_counts_;
+    snap = std::move(frozen);
+  }
+
+  // Two-stage commit. Stage: claim every winner's worker in the sorted
+  // total order, tagged with its claim arena — the home shard for interior
+  // winners, the dedicated border arena for reconciled ones — so an
+  // abandoned staging could be rolled back per shard (Fleet::ReleaseArena).
+  // Resolution guaranteed the winners conflict-free, so every claim must
+  // succeed; a failure means resolution and fleet state diverged.
+  const int border_arena = num_shards_;
+  for (size_t i = 0; i < offers.size(); ++i) {
+    if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
+    int arena = resolution.scopes[i] == OfferScope::kInterior
+                    ? resolution.home_shards[i]
+                    : border_arena;
+    WATTER_CHECK(fleet_.TryClaim(offers[i].worker, arena),
+                 "sharded commit: offered worker not claimable");
+  }
+  // Apply: finalize the staged claims in the same sorted order, deferring
+  // each winner's bookkeeping onto the pipeline.
+  for (size_t i = 0; i < offers.size(); ++i) {
+    if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
+    CommitOfferStaged(offers[i], now, snap);
+  }
+  WATTER_CHECK(fleet_.claimed_count() == 0,
+               "sharded commit: staged claims left unfinalized");
+
+  // Serial post-sweep, same ascending-id order and hazard RNG sequence as
+  // the unsharded engine (the pool holds exactly the same survivors: the
+  // committed sets are bitwise equal); only the bookkeeping is deferred.
+  for (OrderId id : ids) {
+    if (!pool_.Contains(id)) continue;  // Dispatched this round.
+    const Order order_copy = *pool_.GetOrder(id);
+    if (options_.cancellation_hazard > 0.0 &&
+        now > order_copy.WaitDeadline() &&
+        rng_.Bernoulli(1.0 - std::exp(-options_.cancellation_hazard *
+                                      options_.check_period))) {
+      RejectOrderDeferred(order_copy, now, snap);
+      continue;
+    }
+    if (now > order_copy.LatestDispatch()) {
+      RejectOrderDeferred(order_copy, now, snap);
+    } else if (observer_) {
+      pipeline_->Enqueue([this, order_copy, now, snap] {
+        DecisionObservation obs;
+        obs.order = order_copy.id;
+        obs.order_ref = &order_copy;
+        obs.now = now;
+        obs.action = 0;
+        obs.expired = false;
+        obs.demand_pickup = &snap->demand_pickup;
+        obs.demand_dropoff = &snap->demand_dropoff;
+        obs.supply = &snap->supply;
+        observer_(obs);
+      });
     }
   }
 }
@@ -430,6 +683,9 @@ MetricsReport WatterPlatform::Run() {
         next_check += options_.check_period;
       }
     }
+    // Pipeline barrier: all deferred bookkeeping must land before anything
+    // reads the metrics (or before the timer stops attributing its cost).
+    if (pipeline_) pipeline_->Drain();
     if (!orders.empty()) {
       metrics_.SetFleetInfo(fleet_.size(),
                             last_event - orders.front().release);
@@ -459,6 +715,10 @@ MetricsReport WatterPlatform::Run() {
   report.geo.batches = oracle.batch_count();
   report.geo.batch_points = oracle.batch_points();
   report.geo.bucket_build_seconds = oracle.bucket_build_seconds();
+  // Batched-engine counters (zero under kSerial). Offer/outcome totals are
+  // deterministic across threads AND shards; the border splits describe the
+  // shard layout itself (metrics.h).
+  report.dispatch = dispatch_stats_;
   return report;
 }
 

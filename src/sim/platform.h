@@ -28,6 +28,7 @@
 #include "src/core/metrics.h"
 #include "src/geo/grid_index.h"
 #include "src/pool/order_pool.h"
+#include "src/sim/commit_pipeline.h"
 #include "src/sim/fleet.h"
 #include "src/strategy/decision.h"
 #include "src/strategy/threshold_provider.h"
@@ -83,6 +84,15 @@ struct SimOptions {
   /// contention and are within noise otherwise. `kSerial` keeps the
   /// paper-faithful sequential loop (CLI `--dispatch=serial`).
   DispatchMode dispatch = DispatchMode::kBatched;
+  /// Geographic shards for the batched engine's commit pass (CLI
+  /// `--shards`). 0 = inherit the scenario's WorkloadOptions::num_shards;
+  /// 1 keeps the unsharded commit path. With N > 1 the feature grid is
+  /// partitioned into N rectangular regions (GridIndex::RegionOf), interior
+  /// offers resolve per shard in parallel with border components
+  /// reconciled serially (docs/DISPATCH.md), and commit bookkeeping is
+  /// pipelined against the next round's propose phase. Metrics and served
+  /// sets are bitwise identical for any shard count; ignored by kSerial.
+  int num_shards = 0;
 };
 
 /// One observed per-order decision; the RL trainer consumes these to build
@@ -119,6 +129,16 @@ class WatterPlatform {
   const OrderPool& pool() const { return pool_; }
 
  private:
+  /// Frozen copies of one round's feature-grid snapshots. Deferred
+  /// bookkeeping jobs share one of these per round: their observer
+  /// callbacks may run while the platform's live snapshot vectors are
+  /// already being rebuilt for the next round.
+  struct RoundSnapshot {
+    std::vector<int> demand_pickup;
+    std::vector<int> demand_dropoff;
+    std::vector<int> supply;
+  };
+
   void InsertArrival(const Order& order, Time now);
   void RunCheck(Time now);
   /// The sequential decision/dispatch loop (DispatchMode::kSerial).
@@ -126,8 +146,23 @@ class WatterPlatform {
                              const PoolContext& context);
   /// The batched engine (DispatchMode::kBatched): parallel offer propose,
   /// sorted-offers conflict resolution, serial commit, serial post-sweep.
+  /// Runs the serial threshold prologue, then hands off to the sharded
+  /// variant when `num_shards_ > 1`.
   void RunDecisionLoopBatched(const std::vector<OrderId>& ids, Time now,
                               const PoolContext& context);
+  /// The region-sharded, pipelined variant of the batched decision phase
+  /// (docs/DISPATCH.md): shard-bucketed propose, ResolveOffersSharded with
+  /// per-shard parallel scans + serial border reconciliation, arena-staged
+  /// two-stage commit, and bookkeeping deferred onto `pipeline_` so it
+  /// overlaps the next round's maintenance and propose phases.
+  void RunDecisionLoopSharded(
+      const std::vector<OrderId>& ids, Time now,
+      const std::unordered_map<OrderId, double>& thresholds);
+  /// Serial prologue shared by both batched variants: thresholds for every
+  /// order appearing in some cached best group, queried in ascending id
+  /// order (providers are stateful and not thread-safe).
+  std::unordered_map<OrderId, double> PrecomputeThresholds(
+      const std::vector<OrderId>& ids, Time now, const PoolContext& context);
   /// Pure propose step for one order against frozen pool/fleet state:
   /// returns an offer with a bound worker, or worker == kInvalidWorker when
   /// the order makes no dispatch bid this round. `thresholds` carries the
@@ -138,6 +173,17 @@ class WatterPlatform {
   /// Commits one resolved offer: claims its worker, records metrics, and
   /// removes the members from the pool.
   void CommitOffer(const DispatchOffer& offer, Time now);
+  /// Sharded-commit apply step for one winning offer whose worker was
+  /// already staged via TryClaim: enqueues the bookkeeping (metrics +
+  /// observer) on `pipeline_`, finalizes the claim, and removes the members
+  /// from the pool. Jobs own copies of everything they record.
+  void CommitOfferStaged(const DispatchOffer& offer, Time now,
+                         const std::shared_ptr<const RoundSnapshot>& snap);
+  /// RejectOrder with the bookkeeping half deferred onto `pipeline_`.
+  void RejectOrderDeferred(const Order& order, Time now,
+                           const std::shared_ptr<const RoundSnapshot>& snap);
+  /// Grid region of `node` under the `num_shards_` partition.
+  int ShardOfNode(NodeId node) const;
   /// Attempts to dispatch `members` on `plan`; true on success.
   bool TryDispatch(const std::vector<const Order*>& members,
                    const GroupPlan& plan, Time now);
@@ -149,12 +195,20 @@ class WatterPlatform {
   Scenario* scenario_;
   ThresholdProvider* provider_;
   SimOptions options_;
+  // Resolved shard count (>= 1) for the batched commit pass.
+  int num_shards_ = 1;
   // Declared before the pool and fleet that borrow it, so it outlives them.
   ThreadPool executor_;
   OrderPool pool_;
   Fleet fleet_;
   MetricsCollector metrics_;
   Rng rng_;
+  // Deferred-bookkeeping consumer, live only when the sharded batched
+  // engine is active (batched && num_shards_ > 1). Declared after the
+  // metrics it writes; drained before anything reads them.
+  std::unique_ptr<CommitPipeline> pipeline_;
+  // Batched-engine work counters, copied into MetricsReport::dispatch.
+  DispatchStats dispatch_stats_;
   GridIndex demand_pickup_index_;
   GridIndex demand_dropoff_index_;
   std::function<void(const DecisionObservation&)> observer_;

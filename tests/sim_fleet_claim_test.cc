@@ -1,0 +1,136 @@
+// Direct tests of the Fleet two-phase claim protocol (fleet.h): TryClaim /
+// CommitClaim / ReleaseClaim plus the arena-tagged bulk rollback the
+// region-sharded commit pass stages its winners through. The platform
+// suites exercise the happy path end to end; this file pins down the
+// rollback semantics — claim-then-lose, arena staging, double-release —
+// and the WATTER_CHECK aborts that guard protocol misuse.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/fleet.h"
+
+namespace watter {
+namespace {
+
+// A 4-node path graph with one worker per node.
+class ClaimFixture {
+ public:
+  ClaimFixture() {
+    g_.AddNode({0, 0});
+    g_.AddNode({1, 0});
+    g_.AddNode({2, 0});
+    g_.AddNode({3, 0});
+    g_.AddBidirectionalEdge(0, 1, 5.0);
+    g_.AddBidirectionalEdge(1, 2, 5.0);
+    g_.AddBidirectionalEdge(2, 3, 5.0);
+    EXPECT_TRUE(g_.Finalize().ok());
+    std::vector<Worker> workers = {{1, 0, 4, false, 0.0},
+                                   {2, 1, 4, false, 0.0},
+                                   {3, 2, 4, false, 0.0},
+                                   {4, 3, 4, false, 0.0}};
+    fleet_ = std::make_unique<Fleet>(workers, &g_, 4);
+  }
+
+  Fleet& fleet() { return *fleet_; }
+
+ private:
+  Graph g_;
+  std::unique_ptr<Fleet> fleet_;
+};
+
+TEST(FleetClaimTest, ClaimExcludesFromIdleSetUntilReleased) {
+  ClaimFixture fx;
+  ASSERT_TRUE(fx.fleet().TryClaim(2));
+  EXPECT_EQ(fx.fleet().claimed_count(), 1);
+  EXPECT_EQ(fx.fleet().idle_count(), 3);
+  EXPECT_TRUE(fx.fleet().worker(2).busy);
+  EXPECT_EQ(fx.fleet().IdleWorkerIds(), (std::vector<WorkerId>{1, 3, 4}));
+  // A claimed worker is not claimable again (worker contention).
+  EXPECT_FALSE(fx.fleet().TryClaim(2));
+  fx.fleet().ReleaseClaim(2);
+  EXPECT_EQ(fx.fleet().claimed_count(), 0);
+  EXPECT_FALSE(fx.fleet().worker(2).busy);
+  EXPECT_EQ(fx.fleet().IdleWorkerIds(), (std::vector<WorkerId>{1, 2, 3, 4}));
+}
+
+TEST(FleetClaimTest, ClaimThenLoseReconciliationRollsBackCleanly) {
+  // The sharded commit staging pattern: a shard stages its winner, the
+  // cross-shard reconciliation awards the worker elsewhere, the stage is
+  // rolled back, and the reconciliation winner claims the same worker.
+  ClaimFixture fx;
+  ASSERT_TRUE(fx.fleet().TryClaim(1, /*arena=*/0));
+  fx.fleet().ReleaseClaim(1);
+  ASSERT_TRUE(fx.fleet().TryClaim(1, /*arena=*/2));
+  fx.fleet().CommitClaim(1, 50.0, 3);
+  EXPECT_EQ(fx.fleet().claimed_count(), 0);
+  EXPECT_TRUE(fx.fleet().worker(1).busy);
+  // A committed worker is not claimable until its route completes.
+  EXPECT_FALSE(fx.fleet().TryClaim(1));
+  fx.fleet().ReleaseUntil(50.0);
+  EXPECT_FALSE(fx.fleet().worker(1).busy);
+  EXPECT_EQ(fx.fleet().worker(1).location, 3);
+  EXPECT_TRUE(fx.fleet().TryClaim(1));
+}
+
+TEST(FleetClaimTest, ReleaseArenaRollsBackOnlyItsOwnClaims) {
+  ClaimFixture fx;
+  ASSERT_TRUE(fx.fleet().TryClaim(4, /*arena=*/1));
+  ASSERT_TRUE(fx.fleet().TryClaim(2, /*arena=*/1));
+  ASSERT_TRUE(fx.fleet().TryClaim(3, /*arena=*/2));
+  EXPECT_EQ(fx.fleet().claimed_count(), 3);
+  EXPECT_EQ(fx.fleet().idle_count(), 1);
+  // Arena 1 rolls back workers 2 and 4; arena 2's claim survives.
+  EXPECT_EQ(fx.fleet().ReleaseArena(1), 2);
+  EXPECT_EQ(fx.fleet().claimed_count(), 1);
+  EXPECT_EQ(fx.fleet().IdleWorkerIds(), (std::vector<WorkerId>{1, 2, 4}));
+  EXPECT_TRUE(fx.fleet().worker(3).busy);
+  // An empty arena is a no-op, including an already-drained one.
+  EXPECT_EQ(fx.fleet().ReleaseArena(1), 0);
+  EXPECT_EQ(fx.fleet().ReleaseArena(7), 0);
+  fx.fleet().CommitClaim(3, 10.0, 2);
+  EXPECT_EQ(fx.fleet().claimed_count(), 0);
+}
+
+TEST(FleetClaimTest, ReleasedClaimIsImmediatelyReclaimable) {
+  // The serial engine's infeasible-pickup rollback (TryDispatch): release
+  // must restore the worker at its current location, not the route target.
+  ClaimFixture fx;
+  ASSERT_TRUE(fx.fleet().TryClaim(3));
+  fx.fleet().ReleaseClaim(3);
+  EXPECT_EQ(fx.fleet().worker(3).location, 2);
+  ASSERT_TRUE(fx.fleet().TryClaim(3));
+  fx.fleet().CommitClaim(3, 25.0, 0);
+  EXPECT_EQ(fx.fleet().worker(3).location, 0);
+}
+
+// Death tests run in their own suite whose name deliberately does not
+// contain "FleetClaimTest": the CI sanitizer jobs select suites by regex,
+// and fork-based death tests are incompatible with TSan.
+TEST(FleetClaimDeathTest, DoubleReleaseAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ClaimFixture fx;
+  ASSERT_TRUE(fx.fleet().TryClaim(1));
+  fx.fleet().ReleaseClaim(1);
+  EXPECT_DEATH(fx.fleet().ReleaseClaim(1), "release of unclaimed");
+}
+
+TEST(FleetClaimDeathTest, CommitWithoutClaimAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ClaimFixture fx;
+  EXPECT_DEATH(fx.fleet().CommitClaim(2, 10.0, 0), "commit of unclaimed");
+}
+
+TEST(FleetClaimDeathTest, CommitAfterArenaRollbackAborts) {
+  // ReleaseArena must fully forget its claims: finalizing one afterwards is
+  // the commit-of-unclaimed protocol violation.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ClaimFixture fx;
+  ASSERT_TRUE(fx.fleet().TryClaim(2, /*arena=*/3));
+  EXPECT_EQ(fx.fleet().ReleaseArena(3), 1);
+  EXPECT_DEATH(fx.fleet().CommitClaim(2, 10.0, 0), "commit of unclaimed");
+}
+
+}  // namespace
+}  // namespace watter

@@ -27,6 +27,12 @@
 //   src/geo/bucket_ch.h) or the per-query CH oracle. The two are bitwise
 //   equivalent (tests/geo_oracle_equivalence_test.cc) — the flag only moves
 //   runtime, never a metric. Ignored by the matrix-oracle cdc dataset.
+//   --shards N [1] — region shards of the batched engine's commit pass
+//   (docs/DISPATCH.md): N > 1 partitions the feature grid into N regions,
+//   resolves interior offers per shard in parallel with a serial border
+//   reconciliation, and pipelines commit bookkeeping against the next
+//   round's propose. Metrics are identical for any N (the sharded pass is
+//   bitwise-equal to the global one); ignored by --dispatch serial.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,7 +79,8 @@ struct CliArgs {
                "                  --city-seed S --duration HOURS\n"
                "                  --threads T (0 = all hardware threads)\n"
                "                  --dispatch serial|batched (default batched)\n"
-               "                  --geo per-query|bucket (default bucket)\n");
+               "                  --geo per-query|bucket (default bucket)\n"
+               "                  --shards N (default 1 = unsharded commit)\n");
   std::exit(2);
 }
 
@@ -124,6 +131,10 @@ CliArgs Parse(int argc, char** argv) {
       args.workload.duration = std::atof(need_value("--duration")) * 3600.0;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       args.workload.num_threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      int shards = std::atoi(need_value("--shards"));
+      if (shards < 1) Usage("--shards needs a positive shard count");
+      args.workload.num_shards = shards;
     } else if (std::strcmp(argv[i], "--dispatch") == 0) {
       std::string mode = need_value("--dispatch");
       if (mode == "serial") {
