@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
       }
       model = std::make_unique<ExpectModel>(std::move(trained).value());
     }
+    // Observability taps ride on the workload so every simulated run of the
+    // sweep inherits them; the training days above stay untraced.
+    base.trace_path = BenchTracePath(argc, argv);
+    base.timeline_path = BenchTimelinePath(argc, argv);
     std::vector<int> sweep;
     int base_n = base.num_orders;
     for (double factor : {0.5, 0.75, 1.0, 1.25}) {

@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
       }
       model = std::make_unique<ExpectModel>(std::move(trained).value());
     }
+    // Observability taps (training days above stay untraced).
+    base.trace_path = BenchTracePath(argc, argv);
+    base.timeline_path = BenchTimelinePath(argc, argv);
     std::vector<int> sweep = {90, 120, 150, 180};
     if (quick) sweep = {90, 150};
     RunSweep<int>(

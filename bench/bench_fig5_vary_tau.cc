@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
       }
       model = std::make_unique<ExpectModel>(std::move(trained).value());
     }
+    // Observability taps (training days above stay untraced).
+    base.trace_path = BenchTracePath(argc, argv);
+    base.timeline_path = BenchTimelinePath(argc, argv);
     std::vector<double> sweep = {1.2, 1.4, 1.6, 1.8};
     if (quick) sweep = {1.2, 1.8};
     RunSweep<double>(

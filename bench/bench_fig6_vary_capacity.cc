@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
       }
       model = std::make_unique<ExpectModel>(std::move(trained).value());
     }
+    // Observability taps (training days above stay untraced).
+    base.trace_path = BenchTracePath(argc, argv);
+    base.timeline_path = BenchTimelinePath(argc, argv);
     std::vector<int> sweep = {2, 3, 4, 5};
     if (quick) sweep = {2, 5};
     RunSweep<int>(

@@ -240,8 +240,8 @@ bool RunScale(const GeoScale& scale) {
   std::printf("-- geo backend A/B | %s (n=%d orders, m=%d workers) --\n",
               scale.label, scale.orders, scale.workers);
   table.Print();
-  std::printf("bucket build time: %.3fs (scatter phase, amortized over all "
-              "batches)\n\n",
+  std::printf("bucket build time: %.3fs (memoized search-space Dijkstras, "
+              "amortized over all batches)\n\n",
               (*bucket)->bucket_build_seconds());
   return ok;
 }

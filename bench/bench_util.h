@@ -205,6 +205,32 @@ inline std::string BenchJsonPath(int argc, char** argv) {
   return env != nullptr ? env : "";
 }
 
+/// Chrome trace-event output for the simulated runs: `--trace FILE` or
+/// WATTER_BENCH_TRACE (docs/OBSERVABILITY.md). The recorder is global and
+/// accumulates across runs, and every traced run re-exports the whole
+/// buffer, so FILE ends up covering the full sweep on one timeline.
+/// Run-neutral: metrics are bitwise identical with or without it.
+inline std::string BenchTracePath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) return argv[i + 1];
+  }
+  const char* env = std::getenv("WATTER_BENCH_TRACE");
+  return env != nullptr ? env : "";
+}
+
+/// Per-round timeline output: `--timeline FILE` or WATTER_BENCH_TIMELINE
+/// (JSON, or CSV when FILE ends in ".csv"). The sampler is per-platform, so
+/// each run overwrites FILE and the last simulated run of the sweep wins —
+/// point a sweep of one cell at it, or use watter_cli for a single run.
+/// Run-neutral like the trace.
+inline std::string BenchTimelinePath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeline") == 0) return argv[i + 1];
+  }
+  const char* env = std::getenv("WATTER_BENCH_TIMELINE");
+  return env != nullptr ? env : "";
+}
+
 /// Baseline workload for a dataset at the reproduction scale. Defaults
 /// mirror Table III's italicized values: n = base, m = 5k-scaled, tau = 1.6,
 /// Kw = 4.

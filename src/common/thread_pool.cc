@@ -1,6 +1,9 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/obs/trace.h"
 
 namespace watter {
 namespace {
@@ -20,7 +23,11 @@ ThreadPool::ThreadPool(int num_threads)
                                     : num_threads) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::TraceRecorder::Global().SetCurrentThreadName(
+          "pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -56,7 +63,10 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
     job_active_ = true;
   }
   work_cv_.notify_all();
-  RunChunks();  // The caller is a full participant.
+  {
+    WATTER_TRACE_SPAN_HOT("threadpool.job");
+    RunChunks();  // The caller is a full participant.
+  }
   // Chunk-claim completion: the job ends when the range is drained (the
   // caller's RunChunks return guarantees that) and every thread that joined
   // has left. Workers that never woke simply never joined — the job does
@@ -101,7 +111,10 @@ void ThreadPool::WorkerLoop() {
       if (!job_active_) continue;
       ++participants_;
     }
-    RunChunks();
+    {
+      WATTER_TRACE_SPAN_HOT("threadpool.job");
+      RunChunks();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --participants_;

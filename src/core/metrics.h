@@ -49,15 +49,18 @@ struct PoolStats {
 
 /// Travel-time-oracle work counters of one run (filled by WatterPlatform
 /// from the scenario's oracle; zero elsewhere). Unlike PoolStats these are
-/// *diagnostic, not deterministic*: the increments are deliberately racy
-/// (travel_time_oracle.h), so multi-threaded runs may drop a few counts,
-/// and the two geo backends intentionally issue different query totals.
-/// Determinism comparisons exclude them, like wall-clock fields.
+/// *diagnostic, not deterministic*: the three counter increments are
+/// deliberately racy (travel_time_oracle.h), so multi-threaded runs may
+/// drop a few counts, and the two geo backends intentionally issue
+/// different query totals. Determinism comparisons exclude them, like
+/// wall-clock fields. bucket_build_seconds is the exception: it accumulates
+/// once per memoized search-space build under the oracle mutex, so it is
+/// exact — but it is wall-clock, hence still excluded from determinism.
 struct GeoStats {
   int64_t queries = 0;        ///< Point results answered (batched or not).
   int64_t batches = 0;        ///< Batch calls (ManyToOne/OneToMany/ManyToMany).
   int64_t batch_points = 0;   ///< Batched endpoints; /batches = mean width.
-  double bucket_build_seconds = 0.0;  ///< Bucket-CH scatter time (0 if unused).
+  double bucket_build_seconds = 0.0;  ///< Search-space build time (0 if unused).
 };
 
 /// Batched-dispatch work counters of one run (zero for the serial engine
@@ -109,6 +112,13 @@ struct MetricsReport {
   /// One-line summary for logs.
   std::string ToString() const;
 };
+
+/// Serializes a full report as one JSON object. Overlapping fields use the
+/// exact bench_util record names (served, metrs_objective, oracle_queries,
+/// running_time_per_order_us, ...) so `watter_cli --metrics-json` output
+/// and BENCH_*.json records diff with the same tooling; the remaining
+/// MetricsReport fields ride along under their struct names.
+std::string MetricsReportJson(const MetricsReport& report);
 
 /// Streams served/rejected order outcomes and produces a MetricsReport.
 class MetricsCollector {

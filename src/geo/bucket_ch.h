@@ -77,8 +77,11 @@ class BucketChOracle : public TravelTimeOracle {
 
   bool NativeBatch() const override { return true; }
 
-  /// Cumulative seconds spent scattering search spaces into buckets (the
-  /// batch-side preprocessing the per-query oracle has no analogue of).
+  /// Cumulative seconds spent running the memoized search-space Dijkstras
+  /// (the batch-side preprocessing the per-query oracle has no analogue
+  /// of). Each (node, direction) build is timed exactly once, accumulated
+  /// monotonically under mu_ — unlike the base-class query/batch counters,
+  /// this figure is exact even under concurrent callers.
   double bucket_build_seconds() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return bucket_build_seconds_;

@@ -71,7 +71,9 @@ class TravelTimeOracle {
   /// pay for themselves.
   virtual bool NativeBatch() const { return false; }
 
-  /// Seconds spent building bucket structures (bucket-CH only; 0 elsewhere).
+  /// Seconds spent building memoized search spaces (bucket-CH only; 0
+  /// elsewhere). Accumulated once per build under the oracle's mutex, so —
+  /// unlike the racy diagnostic counters below — it is exact.
   virtual double bucket_build_seconds() const { return 0.0; }
 
   /// Number of point queries answered, batched or not (diagnostics).
@@ -96,7 +98,10 @@ class TravelTimeOracle {
   // lost): Cost() is the hottest call in the tree and a lock-prefixed
   // fetch_add here costs several percent end-to-end. The counters are purely
   // diagnostic; the relaxed atomic accesses keep them TSan-clean and exact
-  // whenever queries are serial.
+  // whenever queries are serial. These three (query_count_, batch_count_,
+  // batch_points_) are the only remaining racy-by-design counters —
+  // bucket_build_seconds accumulates under the bucket oracle's mutex and
+  // is exact.
   void CountQuery() { CountQueries(1); }
 
   void CountQueries(int64_t n) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace watter {
 namespace {
 
@@ -216,61 +218,70 @@ void BestGroupMap::RefreshInternal(const std::vector<OrderId>& anchors,
   // — and every counter derived below — is a pure function of (graph,
   // cache, anchors, now), never of thread count or sibling anchors.
   std::vector<CandidateScan> scans(anchors.size());
-  if (parallel && anchors.size() > kParallelGrain) {
-    executor_->ParallelMap(anchors.size(), kParallelGrain, &scans,
-                           [&](size_t i) {
-                             return ScanCandidates(anchors[i], now);
-                           });
-  } else {
-    for (size_t i = 0; i < anchors.size(); ++i) {
-      scans[i] = ScanCandidates(anchors[i], now);
-    }
-  }
-
-  // Merge: the distinct member sets needing a plan, in lexicographic key
-  // order. This is the intra-batch dedupe — the k anchors sharing a clique
-  // contribute the key k times but it is planned once.
   std::vector<GroupKey> need;
-  for (const CandidateScan& scan : scans) {
-    plan_cache_hits_ += scan.hits;
-    plan_cache_misses_ += scan.misses;
-    plan_cache_replans_ += scan.replans;
-    need.insert(need.end(), scan.need_plan.begin(), scan.need_plan.end());
+  {
+    WATTER_TRACE_SPAN("refresh.scan");
+    if (parallel && anchors.size() > kParallelGrain) {
+      executor_->ParallelMap(anchors.size(), kParallelGrain, &scans,
+                             [&](size_t i) {
+                               return ScanCandidates(anchors[i], now);
+                             });
+    } else {
+      for (size_t i = 0; i < anchors.size(); ++i) {
+        scans[i] = ScanCandidates(anchors[i], now);
+      }
+    }
+
+    // Merge: the distinct member sets needing a plan, in lexicographic key
+    // order. This is the intra-batch dedupe — the k anchors sharing a
+    // clique contribute the key k times but it is planned once.
+    for (const CandidateScan& scan : scans) {
+      plan_cache_hits_ += scan.hits;
+      plan_cache_misses_ += scan.misses;
+      plan_cache_replans_ += scan.replans;
+      need.insert(need.end(), scan.need_plan.begin(), scan.need_plan.end());
+    }
+    std::sort(need.begin(), need.end());
+    need.erase(std::unique(need.begin(), need.end()), need.end());
   }
-  std::sort(need.begin(), need.end());
-  need.erase(std::unique(need.begin(), need.end()), need.end());
 
   // Phase 2: plan each distinct member set exactly once, then commit the
   // outcomes serially in key order.
-  std::vector<CachedGroupPlan> planned(need.size());
-  if (parallel && need.size() > kParallelGrain) {
-    executor_->ParallelMap(need.size(), kParallelGrain, &planned,
-                           [&](size_t i) { return PlanGroup(need[i], now); });
-  } else {
-    for (size_t i = 0; i < need.size(); ++i) {
-      planned[i] = PlanGroup(need[i], now);
+  {
+    WATTER_TRACE_SPAN("refresh.plan");
+    std::vector<CachedGroupPlan> planned(need.size());
+    if (parallel && need.size() > kParallelGrain) {
+      executor_->ParallelMap(need.size(), kParallelGrain, &planned,
+                             [&](size_t i) { return PlanGroup(need[i], now); });
+    } else {
+      for (size_t i = 0; i < need.size(); ++i) {
+        planned[i] = PlanGroup(need[i], now);
+      }
     }
-  }
-  for (size_t i = 0; i < need.size(); ++i) {
-    plan_cache_.Put(need[i], std::move(planned[i]));
+    for (size_t i = 0; i < need.size(); ++i) {
+      plan_cache_.Put(need[i], std::move(planned[i]));
+    }
   }
 
   // Phase 3: rank each anchor's candidates from the now-complete cache and
   // commit serially in `anchors` order — identical to a serial per-anchor
   // recompute.
-  std::vector<SearchResult> results(anchors.size());
-  if (parallel && anchors.size() > kParallelGrain) {
-    executor_->ParallelMap(anchors.size(), kParallelGrain, &results,
-                           [&](size_t i) {
-                             return SelectBest(anchors[i], now);
-                           });
-  } else {
-    for (size_t i = 0; i < anchors.size(); ++i) {
-      results[i] = SelectBest(anchors[i], now);
+  {
+    WATTER_TRACE_SPAN("refresh.select");
+    std::vector<SearchResult> results(anchors.size());
+    if (parallel && anchors.size() > kParallelGrain) {
+      executor_->ParallelMap(anchors.size(), kParallelGrain, &results,
+                             [&](size_t i) {
+                               return SelectBest(anchors[i], now);
+                             });
+    } else {
+      for (size_t i = 0; i < anchors.size(); ++i) {
+        results[i] = SelectBest(anchors[i], now);
+      }
     }
-  }
-  for (size_t i = 0; i < anchors.size(); ++i) {
-    Commit(anchors[i], std::move(results[i]));
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      Commit(anchors[i], std::move(results[i]));
+    }
   }
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace watter {
 namespace {
 
@@ -31,6 +33,7 @@ bool RouteInterleaves(const Route& route) {
 
 Result<std::vector<OrderId>> ShareabilityGraph::Insert(
     const Order& order, Time now, std::vector<PairPlanSeed>* pair_plans) {
+  WATTER_TRACE_SPAN_HOT("graph.insert");
   if (entries_.count(order.id) > 0) {
     return Status::AlreadyExists("order " + std::to_string(order.id) +
                                  " already pooled");

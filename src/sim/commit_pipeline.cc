@@ -1,9 +1,17 @@
 #include "src/sim/commit_pipeline.h"
 
+#include <chrono>
+
+#include "src/obs/histogram_registry.h"
+#include "src/obs/trace.h"
+
 namespace watter {
 
 CommitPipeline::CommitPipeline() {
-  consumer_ = std::thread([this] { ConsumerLoop(); });
+  consumer_ = std::thread([this] {
+    obs::TraceRecorder::Global().SetCurrentThreadName("commit-pipeline");
+    ConsumerLoop();
+  });
 }
 
 CommitPipeline::~CommitPipeline() {
@@ -16,6 +24,19 @@ CommitPipeline::~CommitPipeline() {
 }
 
 void CommitPipeline::Enqueue(std::function<void()> job) {
+  // Pipeline lag = how long bookkeeping sits behind the consumer. Only
+  // measured when the latency registry is armed; the wrapper captures the
+  // enqueue instant so the consumer can report queue-wait on dequeue.
+  if (obs::HistogramRegistry::enabled()) {
+    auto enqueued = std::chrono::steady_clock::now();
+    job = [enqueued, inner = std::move(job)] {
+      double lag = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - enqueued)
+                       .count();
+      obs::RecordLatency("commit_pipeline.lag_s", lag, /*hi_seconds=*/10.0);
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(job));
@@ -24,8 +45,14 @@ void CommitPipeline::Enqueue(std::function<void()> job) {
 }
 
 void CommitPipeline::Drain() {
+  WATTER_TRACE_SPAN("pipeline.drain");
   std::unique_lock<std::mutex> lock(mu_);
   drain_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+int CommitPipeline::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size()) + (running_ ? 1 : 0);
 }
 
 void CommitPipeline::ConsumerLoop() {
@@ -40,7 +67,10 @@ void CommitPipeline::ConsumerLoop() {
     queue_.pop_front();
     running_ = true;
     lock.unlock();
-    job();  // Strictly FIFO: one consumer, jobs run in enqueue order.
+    {
+      WATTER_TRACE_SPAN_HOT("pipeline.job");
+      job();  // Strictly FIFO: one consumer, jobs run in enqueue order.
+    }
     lock.lock();
     running_ = false;
     if (queue_.empty()) drain_cv_.notify_all();

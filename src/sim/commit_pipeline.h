@@ -44,10 +44,14 @@ class CommitPipeline {
   /// Blocks until every job enqueued so far has finished executing.
   void Drain();
 
+  /// Jobs waiting (plus the one running, if any) right now. Diagnostic: the
+  /// timeline sampler reads it between rounds to chart consumer backlog.
+  int depth() const;
+
  private:
   void ConsumerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // Signals new jobs (or shutdown).
   std::condition_variable drain_cv_;  // Signals the queue ran dry.
   std::deque<std::function<void()>> queue_;

@@ -1,11 +1,14 @@
 #include "src/sim/platform.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
+#include "src/obs/histogram_registry.h"
+#include "src/obs/trace.h"
 
 namespace watter {
 namespace {
@@ -36,6 +39,29 @@ struct ServedMember {
   double detour = 0.0;
 };
 
+// Accumulates the enclosing scope's wall-clock into `*slot` when armed;
+// disarmed it reads no clock at all (the timeline contract: sampling off is
+// free, sampling on touches only diagnostic state).
+class PhaseTimer {
+ public:
+  PhaseTimer(bool armed, double* slot) : slot_(armed ? slot : nullptr) {
+    if (slot_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (slot_ != nullptr) {
+      *slot_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
@@ -61,6 +87,17 @@ WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
   // the unsharded path keeps its fully synchronous commit.
   if (options_.dispatch == DispatchMode::kBatched && num_shards_ > 1) {
     pipeline_ = std::make_unique<CommitPipeline>();
+  }
+  // Observability knobs: SimOptions wins when set, else the scenario's
+  // workload options (the CLI/bench path).
+  trace_path_ = !options_.trace_path.empty() ? options_.trace_path
+                                             : scenario->options.trace_path;
+  timeline_path_ = !options_.timeline_path.empty()
+                       ? options_.timeline_path
+                       : scenario->options.timeline_path;
+  if (!timeline_path_.empty()) {
+    timeline_ = std::make_unique<obs::TimelineSampler>();
+    sampling_ = true;
   }
 }
 
@@ -155,37 +192,59 @@ bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
 }
 
 void WatterPlatform::RunCheck(Time now) {
-  // Maintenance phase. Edge expiry shards per graph entry inside the pool.
-  // The three grid snapshots stay serial on purpose: each is O(cells) of
-  // trivial work, far below the pool's wake/join cost.
-  pool_.ExpireEdges(now);
-  demand_pickup_counts_ = demand_pickup_index_.CellCounts();
-  demand_dropoff_counts_ = demand_dropoff_index_.CellCounts();
-  supply_counts_ = fleet_.IdleCellCounts();
+  WATTER_TRACE_SPAN("round");
+  std::chrono::steady_clock::time_point round_start;
+  if (sampling_) {
+    round_sample_ = obs::RoundSample{};
+    round_start = std::chrono::steady_clock::now();
+  }
+
   PoolContext context{&demand_pickup_counts_, &demand_dropoff_counts_,
                       &supply_counts_};
+  std::vector<OrderId> ids;
+  {
+    // Maintenance phase. Edge expiry shards per graph entry inside the
+    // pool. The three grid snapshots stay serial on purpose: each is
+    // O(cells) of trivial work, far below the pool's wake/join cost.
+    WATTER_TRACE_SPAN("round.maintenance");
+    PhaseTimer timer(sampling_, &round_sample_.maintenance_s);
+    pool_.ExpireEdges(now);
+    demand_pickup_counts_ = demand_pickup_index_.CellCounts();
+    demand_dropoff_counts_ = demand_dropoff_index_.CellCounts();
+    supply_counts_ = fleet_.IdleCellCounts();
+    ids = pool_.SortedOrderIds();  // Arrival-ordered.
+  }
 
-  std::vector<OrderId> ids = pool_.SortedOrderIds();  // Arrival-ordered.
-
-  // Phase A: recompute every stale best group in parallel against the
-  // frozen graph. The decision phase below then runs against a warm cache;
-  // in serial mode, groups invalidated by this round's own dispatches are
-  // lazily recomputed in-loop, exactly as in the serial algorithm.
-  //
-  // This phase runs at EVERY thread count, including 1 — do not "optimize"
-  // it away in serial mode. A lazy recompute at loop position sees the
-  // post-dispatch graph; when the clique visit budget truncates
-  // enumeration, that can select a different group than the pre-dispatch
-  // phase-A value, and metrics would then depend on the thread count.
-  // Keeping the algorithm fixed costs ~7% serial time on dense workloads
-  // and is what makes the determinism contract unconditional.
-  pool_.RefreshBestGroups(ids, now);
+  {
+    // Phase A: recompute every stale best group in parallel against the
+    // frozen graph. The decision phase below then runs against a warm
+    // cache; in serial mode, groups invalidated by this round's own
+    // dispatches are lazily recomputed in-loop, exactly as in the serial
+    // algorithm.
+    //
+    // This phase runs at EVERY thread count, including 1 — do not
+    // "optimize" it away in serial mode. A lazy recompute at loop position
+    // sees the post-dispatch graph; when the clique visit budget truncates
+    // enumeration, that can select a different group than the pre-dispatch
+    // phase-A value, and metrics would then depend on the thread count.
+    // Keeping the algorithm fixed costs ~7% serial time on dense workloads
+    // and is what makes the determinism contract unconditional.
+    WATTER_TRACE_SPAN("round.refresh");
+    PhaseTimer timer(sampling_, &round_sample_.refresh_s);
+    pool_.RefreshBestGroups(ids, now);
+  }
 
   // Phase B: the decision/dispatch phase, in the configured engine.
   if (options_.dispatch == DispatchMode::kBatched) {
     RunDecisionLoopBatched(ids, now, context);
   } else {
     RunDecisionLoopSerial(ids, now, context);
+  }
+
+  if (sampling_) {
+    FinishRoundSample(now, std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - round_start)
+                               .count());
   }
 }
 
@@ -194,7 +253,11 @@ void WatterPlatform::RunDecisionLoopSerial(const std::vector<OrderId>& ids,
                                            const PoolContext& context) {
   // The sequential decision/dispatch loop. Each dispatch consumes workers
   // and removes partner orders, which changes the problem every later order
-  // sees — that chained re-evaluation is this engine's semantics.
+  // sees — that chained re-evaluation is this engine's semantics. The whole
+  // loop lands in the timeline's commit_s: this engine has no
+  // propose/resolve/sweep split to attribute separately.
+  WATTER_TRACE_SPAN("round.commit");
+  PhaseTimer timer(sampling_, &round_sample_.commit_s);
   for (OrderId id : ids) {
     if (!pool_.Contains(id)) continue;  // Dispatched earlier this round.
     const Order* order = pool_.GetOrder(id);
@@ -390,9 +453,14 @@ std::unordered_map<OrderId, double> WatterPlatform::PrecomputeThresholds(
 void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
                                             Time now,
                                             const PoolContext& context) {
-  // Serial prologue (shared with the sharded variant).
-  std::unordered_map<OrderId, double> thresholds =
-      PrecomputeThresholds(ids, now, context);
+  // Serial prologue (shared with the sharded variant). Attributed to the
+  // propose phase: thresholds are inputs to the offers.
+  std::unordered_map<OrderId, double> thresholds;
+  {
+    WATTER_TRACE_SPAN("round.thresholds");
+    PhaseTimer timer(sampling_, &round_sample_.propose_s);
+    thresholds = PrecomputeThresholds(ids, now, context);
+  }
 
   if (num_shards_ > 1) {
     RunDecisionLoopSharded(ids, now, thresholds);
@@ -403,33 +471,46 @@ void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
   // of the frozen pool/fleet/threshold state (ordered-map pattern, see
   // thread_pool.h).
   std::vector<DispatchOffer> offers;
-  executor_.ParallelMap(ids.size(), 4, &offers, [&](size_t i) {
-    return ProposeOffer(ids[i], now, thresholds);
-  });
+  {
+    WATTER_TRACE_SPAN("round.propose");
+    PhaseTimer timer(sampling_, &round_sample_.propose_s);
+    executor_.ParallelMap(ids.size(), 4, &offers, [&](size_t i) {
+      return ProposeOffer(ids[i], now, thresholds);
+    });
+  }
 
   // Drop the non-bids, then resolve conflicts in the sorted-offers total
   // order and commit the winners serially. The outcome sequence is a pure
   // function of the offer set, hence of the frozen round state — never of
   // the thread count.
-  offers.erase(std::remove_if(offers.begin(), offers.end(),
-                              [](const DispatchOffer& offer) {
-                                return offer.worker == kInvalidWorker;
-                              }),
-               offers.end());
-  std::vector<OfferOutcome> outcomes = ResolveOffers(&offers);
+  std::vector<OfferOutcome> outcomes;
+  {
+    WATTER_TRACE_SPAN("round.resolve");
+    PhaseTimer timer(sampling_, &round_sample_.resolve_s);
+    offers.erase(std::remove_if(offers.begin(), offers.end(),
+                                [](const DispatchOffer& offer) {
+                                  return offer.worker == kInvalidWorker;
+                                }),
+                 offers.end());
+    outcomes = ResolveOffers(&offers);
+  }
   dispatch_stats_.offers += static_cast<int64_t>(offers.size());
-  for (size_t i = 0; i < offers.size(); ++i) {
-    switch (outcomes[i]) {
-      case OfferOutcome::kCommitted:
-        ++dispatch_stats_.committed;
-        CommitOffer(offers[i], now);
-        break;
-      case OfferOutcome::kWorkerConflict:
-        ++dispatch_stats_.worker_conflicts;
-        break;
-      case OfferOutcome::kOrderConflict:
-        ++dispatch_stats_.order_conflicts;
-        break;
+  {
+    WATTER_TRACE_SPAN("round.commit");
+    PhaseTimer timer(sampling_, &round_sample_.commit_s);
+    for (size_t i = 0; i < offers.size(); ++i) {
+      switch (outcomes[i]) {
+        case OfferOutcome::kCommitted:
+          ++dispatch_stats_.committed;
+          CommitOffer(offers[i], now);
+          break;
+        case OfferOutcome::kWorkerConflict:
+          ++dispatch_stats_.worker_conflicts;
+          break;
+        case OfferOutcome::kOrderConflict:
+          ++dispatch_stats_.order_conflicts;
+          break;
+      }
     }
   }
 
@@ -437,6 +518,8 @@ void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
   // dispatch: hazard cancellation (the RNG draws happen here, serially, so
   // the sequence is thread-count-invariant), rejection once no feasible
   // service remains, and wait observations for everyone else.
+  WATTER_TRACE_SPAN("round.sweep");
+  PhaseTimer sweep_timer(sampling_, &round_sample_.sweep_s);
   for (OrderId id : ids) {
     if (!pool_.Contains(id)) continue;  // Dispatched this round.
     const Order order_copy = *pool_.GetOrder(id);
@@ -539,37 +622,45 @@ void WatterPlatform::RunDecisionLoopSharded(
   // each shard's orders form one contiguous slice of the work list. The
   // commit pass below re-imposes the global sorted-offers order, so the
   // bucketed visit order never shows in the results.
-  std::vector<std::vector<OrderId>> buckets = pool_.SortedOrderIdsByRegion(
-      num_shards_,
-      [this](const Order& order) { return ShardOfNode(order.pickup); });
-  std::vector<OrderId> flat_ids;
-  flat_ids.reserve(ids.size());
-  for (const std::vector<OrderId>& bucket : buckets) {
-    flat_ids.insert(flat_ids.end(), bucket.begin(), bucket.end());
-  }
   std::vector<DispatchOffer> offers;
-  executor_.ParallelMap(flat_ids.size(), 4, &offers, [&](size_t i) {
-    return ProposeOffer(flat_ids[i], now, thresholds);
-  });
-  offers.erase(std::remove_if(offers.begin(), offers.end(),
-                              [](const DispatchOffer& offer) {
-                                return offer.worker == kInvalidWorker;
-                              }),
-               offers.end());
+  {
+    WATTER_TRACE_SPAN("round.propose");
+    PhaseTimer timer(sampling_, &round_sample_.propose_s);
+    std::vector<std::vector<OrderId>> buckets = pool_.SortedOrderIdsByRegion(
+        num_shards_,
+        [this](const Order& order) { return ShardOfNode(order.pickup); });
+    std::vector<OrderId> flat_ids;
+    flat_ids.reserve(ids.size());
+    for (const std::vector<OrderId>& bucket : buckets) {
+      flat_ids.insert(flat_ids.end(), bucket.begin(), bucket.end());
+    }
+    executor_.ParallelMap(flat_ids.size(), 4, &offers, [&](size_t i) {
+      return ProposeOffer(flat_ids[i], now, thresholds);
+    });
+    offers.erase(std::remove_if(offers.begin(), offers.end(),
+                                [](const DispatchOffer& offer) {
+                                  return offer.worker == kInvalidWorker;
+                                }),
+                 offers.end());
+  }
 
   // Sharded conflict resolution: home shard = worker's region, member
   // shards = pickup regions. Both callbacks read only frozen round state
   // (the fleet mutates after resolution, the pool only through commits).
-  OfferShardMap shard_map;
-  shard_map.num_shards = num_shards_;
-  shard_map.worker_shard = [this](WorkerId worker) {
-    return ShardOfNode(fleet_.worker(worker).location);
-  };
-  shard_map.order_shard = [this](OrderId member) {
-    return ShardOfNode(pool_.GetOrder(member)->pickup);
-  };
-  ShardedResolution resolution =
-      ResolveOffersSharded(&offers, shard_map, &executor_);
+  ShardedResolution resolution;
+  {
+    WATTER_TRACE_SPAN("round.resolve");
+    PhaseTimer timer(sampling_, &round_sample_.resolve_s);
+    OfferShardMap shard_map;
+    shard_map.num_shards = num_shards_;
+    shard_map.worker_shard = [this](WorkerId worker) {
+      return ShardOfNode(fleet_.worker(worker).location);
+    };
+    shard_map.order_shard = [this](OrderId member) {
+      return ShardOfNode(pool_.GetOrder(member)->pickup);
+    };
+    resolution = ResolveOffersSharded(&offers, shard_map, &executor_);
+  }
 
   dispatch_stats_.offers += static_cast<int64_t>(offers.size());
   dispatch_stats_.border_offers += resolution.border_offers;
@@ -605,27 +696,33 @@ void WatterPlatform::RunDecisionLoopSharded(
   // abandoned staging could be rolled back per shard (Fleet::ReleaseArena).
   // Resolution guaranteed the winners conflict-free, so every claim must
   // succeed; a failure means resolution and fleet state diverged.
-  const int border_arena = num_shards_;
-  for (size_t i = 0; i < offers.size(); ++i) {
-    if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
-    int arena = resolution.scopes[i] == OfferScope::kInterior
-                    ? resolution.home_shards[i]
-                    : border_arena;
-    WATTER_CHECK(fleet_.TryClaim(offers[i].worker, arena),
-                 "sharded commit: offered worker not claimable");
+  {
+    WATTER_TRACE_SPAN("round.commit");
+    PhaseTimer timer(sampling_, &round_sample_.commit_s);
+    const int border_arena = num_shards_;
+    for (size_t i = 0; i < offers.size(); ++i) {
+      if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
+      int arena = resolution.scopes[i] == OfferScope::kInterior
+                      ? resolution.home_shards[i]
+                      : border_arena;
+      WATTER_CHECK(fleet_.TryClaim(offers[i].worker, arena),
+                   "sharded commit: offered worker not claimable");
+    }
+    // Apply: finalize the staged claims in the same sorted order, deferring
+    // each winner's bookkeeping onto the pipeline.
+    for (size_t i = 0; i < offers.size(); ++i) {
+      if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
+      CommitOfferStaged(offers[i], now, snap);
+    }
+    WATTER_CHECK(fleet_.claimed_count() == 0,
+                 "sharded commit: staged claims left unfinalized");
   }
-  // Apply: finalize the staged claims in the same sorted order, deferring
-  // each winner's bookkeeping onto the pipeline.
-  for (size_t i = 0; i < offers.size(); ++i) {
-    if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
-    CommitOfferStaged(offers[i], now, snap);
-  }
-  WATTER_CHECK(fleet_.claimed_count() == 0,
-               "sharded commit: staged claims left unfinalized");
 
   // Serial post-sweep, same ascending-id order and hazard RNG sequence as
   // the unsharded engine (the pool holds exactly the same survivors: the
   // committed sets are bitwise equal); only the bookkeeping is deferred.
+  WATTER_TRACE_SPAN("round.sweep");
+  PhaseTimer sweep_timer(sampling_, &round_sample_.sweep_s);
   for (OrderId id : ids) {
     if (!pool_.Contains(id)) continue;  // Dispatched this round.
     const Order order_copy = *pool_.GetOrder(id);
@@ -655,7 +752,72 @@ void WatterPlatform::RunDecisionLoopSharded(
   }
 }
 
+void WatterPlatform::FinishRoundSample(Time now, double total_seconds) {
+  if (!sampling_) return;
+  obs::RoundSample& sample = round_sample_;
+  sample.round = ++round_counter_;
+  sample.now = now;
+  sample.total_s = total_seconds;
+
+  // End-of-round state. depth() is a mutex peek at the consumer backlog —
+  // diagnostic only, so the inherent raciness is fine.
+  sample.pool_size = static_cast<int64_t>(pool_.size());
+  sample.shareability_edges = pool_.graph().edge_count();
+  sample.pipeline_depth = pipeline_ ? pipeline_->depth() : 0;
+
+  // Per-round deltas of the cumulative counters; counter_base_ reuses the
+  // sample fields to hold the previous round's cumulative values.
+  const auto delta = [](int64_t current, int64_t& base) {
+    int64_t d = current - base;
+    base = current;
+    return d;
+  };
+  obs::RoundSample& base = counter_base_;
+  sample.offers = delta(dispatch_stats_.offers, base.offers);
+  sample.committed = delta(dispatch_stats_.committed, base.committed);
+  sample.worker_conflicts =
+      delta(dispatch_stats_.worker_conflicts, base.worker_conflicts);
+  sample.order_conflicts =
+      delta(dispatch_stats_.order_conflicts, base.order_conflicts);
+  sample.planner_plans =
+      delta(pool_.planner().plan_count(), base.planner_plans);
+  sample.pair_tests = delta(pool_.graph().pair_tests(), base.pair_tests);
+  sample.recomputes =
+      delta(pool_.best_groups().recompute_count(), base.recomputes);
+  sample.plan_cache_hits =
+      delta(pool_.best_groups().plan_cache_hits(), base.plan_cache_hits);
+  sample.plan_cache_misses =
+      delta(pool_.best_groups().plan_cache_misses(), base.plan_cache_misses);
+  sample.geo_queries = delta(scenario_->oracle->query_count(),
+                             base.geo_queries);
+  sample.geo_batches = delta(scenario_->oracle->batch_count(),
+                             base.geo_batches);
+
+  timeline_->Record(sample);
+
+  // Phase-duration histograms ride on the same sampling pass (the registry
+  // is armed whenever a trace or timeline was requested).
+  obs::RecordLatency("round.total_s", sample.total_s, /*hi_seconds=*/60.0);
+  obs::RecordLatency("round.maintenance_s", sample.maintenance_s, 60.0);
+  obs::RecordLatency("round.refresh_s", sample.refresh_s, 60.0);
+  obs::RecordLatency("round.propose_s", sample.propose_s, 60.0);
+  obs::RecordLatency("round.resolve_s", sample.resolve_s, 60.0);
+  obs::RecordLatency("round.commit_s", sample.commit_s, 60.0);
+  obs::RecordLatency("round.sweep_s", sample.sweep_s, 60.0);
+}
+
 MetricsReport WatterPlatform::Run() {
+  // Arm the process-global observability sinks before the first round.
+  // Both stay enabled for the rest of the process (they accumulate across
+  // runs by design; see docs/OBSERVABILITY.md "Lifecycle") — the platform
+  // merely exports the current state at the end of this run.
+  if (!trace_path_.empty()) {
+    obs::TraceRecorder::Global().SetCurrentThreadName("main");
+    obs::TraceRecorder::Global().Enable();
+  }
+  if (!trace_path_.empty() || sampling_) {
+    obs::HistogramRegistry::Global().Enable();
+  }
   Stopwatch algorithm_time;
   {
     ScopedTimer timer(&algorithm_time);
@@ -719,6 +881,27 @@ MetricsReport WatterPlatform::Run() {
   // deterministic across threads AND shards; the border splits describe the
   // shard layout itself (metrics.h).
   report.dispatch = dispatch_stats_;
+
+  // Export the observability artifacts last, after the pipeline drain and
+  // the pool's final fan-in — every traced thread has synchronized with
+  // this one, so the recorder is quiescent (trace.h). Failures only warn:
+  // diagnostics must never fail a run.
+  if (timeline_) {
+    const bool csv = timeline_path_.size() >= 4 &&
+                     timeline_path_.compare(timeline_path_.size() - 4, 4,
+                                            ".csv") == 0;
+    bool ok = csv ? timeline_->WriteCsv(timeline_path_)
+                  : timeline_->WriteJson(timeline_path_);
+    if (!ok) {
+      std::fprintf(stderr, "warning: could not write timeline to %s\n",
+                   timeline_path_.c_str());
+    }
+  }
+  if (!trace_path_.empty() &&
+      !obs::TraceRecorder::Global().ExportChromeTrace(trace_path_)) {
+    std::fprintf(stderr, "warning: could not write trace to %s\n",
+                 trace_path_.c_str());
+  }
   return report;
 }
 

@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/metrics.h"
 #include "src/geo/grid_index.h"
+#include "src/obs/timeline.h"
 #include "src/pool/order_pool.h"
 #include "src/sim/commit_pipeline.h"
 #include "src/sim/fleet.h"
@@ -93,6 +95,15 @@ struct SimOptions {
   /// pipelined against the next round's propose phase. Metrics and served
   /// sets are bitwise identical for any shard count; ignored by kSerial.
   int num_shards = 0;
+  /// Chrome trace-event JSON output path. Empty = inherit the scenario's
+  /// WorkloadOptions::trace_path (the common case; this override exists for
+  /// embedders that run several platforms over one scenario). Tracing obeys
+  /// the observability contract (docs/OBSERVABILITY.md): off is a no-op,
+  /// on never changes a single metric bit.
+  std::string trace_path;
+  /// Per-round timeline output path (JSON, or CSV for `.csv` paths). Empty
+  /// = inherit WorkloadOptions::timeline_path. Same contract as trace_path.
+  std::string timeline_path;
 };
 
 /// One observed per-order decision; the RL trainer consumes these to build
@@ -127,6 +138,11 @@ class WatterPlatform {
 
   const MetricsCollector& metrics() const { return metrics_; }
   const OrderPool& pool() const { return pool_; }
+
+  /// The per-round timeline, populated only when a timeline path was
+  /// resolved (SimOptions or WorkloadOptions); nullptr otherwise. Valid for
+  /// the platform's lifetime — tests read it after Run().
+  const obs::TimelineSampler* timeline() const { return timeline_.get(); }
 
  private:
   /// Frozen copies of one round's feature-grid snapshots. Deferred
@@ -191,6 +207,10 @@ class WatterPlatform {
   void RemoveFromIndexes(const Order& order);
   void Observe(const Order& order, Time now, int action, bool expired,
                double detour);
+  /// Closes the current RoundSample: end-of-round state, dispatch/counter
+  /// deltas, and the phase durations the decision loops stamped into
+  /// `round_sample_`. No-op unless the timeline sampler is active.
+  void FinishRoundSample(Time now, double total_seconds);
 
   Scenario* scenario_;
   ThresholdProvider* provider_;
@@ -209,6 +229,19 @@ class WatterPlatform {
   std::unique_ptr<CommitPipeline> pipeline_;
   // Batched-engine work counters, copied into MetricsReport::dispatch.
   DispatchStats dispatch_stats_;
+  // Observability (all inert unless the run resolved a trace/timeline
+  // path; see docs/OBSERVABILITY.md). The sampler is allocated up front so
+  // `sampling_` is one bool test on the round path; `round_sample_` is the
+  // in-progress sample the decision loops stamp phase durations into, and
+  // `counter_base_` holds the previous round's cumulative counters so each
+  // sample carries per-round deltas.
+  std::string trace_path_;
+  std::string timeline_path_;
+  bool sampling_ = false;
+  std::unique_ptr<obs::TimelineSampler> timeline_;
+  obs::RoundSample round_sample_;
+  obs::RoundSample counter_base_;
+  int64_t round_counter_ = 0;
   GridIndex demand_pickup_index_;
   GridIndex demand_dropoff_index_;
   std::function<void(const DecisionObservation&)> observer_;

@@ -4,6 +4,7 @@
 #define WATTER_WORKLOAD_SCENARIO_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/result.h"
@@ -51,6 +52,17 @@ struct WorkloadOptions {
   /// Road-network seed; 0 derives it from `seed`. Fix it to share one city
   /// across several demand "days" (e.g. RL training vs evaluation runs).
   uint64_t city_seed = 0;
+  /// Chrome trace-event JSON output (CLI `--trace`): when non-empty, the
+  /// platform arms the global TraceRecorder for this run and exports the
+  /// accumulated spans here at the end (docs/OBSERVABILITY.md). Empty
+  /// disables tracing entirely. Purely observational: metrics are bitwise
+  /// identical either way. SimOptions can override.
+  std::string trace_path;
+  /// Per-round timeline output (CLI `--timeline`): one RoundSample per
+  /// check round, written here as JSON (or CSV when the path ends in
+  /// `.csv`). Same no-perturbation contract as trace_path. SimOptions can
+  /// override.
+  std::string timeline_path;
 };
 
 /// A ready-to-run simulation input. The city is heap-pinned so oracles that

@@ -11,8 +11,10 @@
 // it is a separate opt-in rather than part of the smoke run.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/timeline.h"
 #include "src/sim/platform.h"
 #include "src/strategy/threshold_provider.h"
 #include "src/workload/scenario.h"
@@ -58,7 +60,35 @@ TEST(PaperScaleTest, ThirtyThousandOrdersEndToEnd) {
   }
 
   OnlineThresholdProvider online;
-  MetricsReport parallel = RunAt(workload, 4, &online);
+  MetricsReport parallel;
+  {
+    // Run with the per-round timeline armed (docs/OBSERVABILITY.md): the
+    // sampling path is run-neutral, so this is the same smoke run — plus
+    // assertions that the observability story holds at paper scale.
+    auto scenario = GenerateScenario(workload);
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    SimOptions options;
+    options.num_threads = 4;
+    options.timeline_path =
+        ::testing::TempDir() + "/paper_scale_timeline.json";
+    WatterPlatform platform(&*scenario, &online, options);
+    parallel = platform.Run();
+
+    const obs::TimelineSampler* timeline = platform.timeline();
+    ASSERT_NE(timeline, nullptr);
+    const auto& samples = timeline->samples();
+    // One check round per period over the 4h arrival window, plus the drain
+    // tail after the last arrival.
+    EXPECT_GE(static_cast<double>(samples.size()),
+              workload.duration / options.check_period);
+    int64_t peak_pool = 0;
+    for (const auto& sample : samples) {
+      if (sample.pool_size > peak_pool) peak_pool = sample.pool_size;
+    }
+    EXPECT_GT(peak_pool, 0);  // Orders actually waited in the pool...
+    EXPECT_EQ(samples.back().pool_size, 0);  // ...and the pool drained.
+    std::remove(options.timeline_path.c_str());
+  }
   EXPECT_EQ(parallel.served + parallel.rejected, 30000);
   EXPECT_GT(parallel.served, 0);
   EXPECT_GT(parallel.service_rate, 0.2);

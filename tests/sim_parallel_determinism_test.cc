@@ -13,12 +13,15 @@
 // commit order); no cross-engine equality is asserted.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "src/core/metrics.h"
+#include "src/obs/histogram_registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/platform.h"
 #include "src/strategy/threshold_provider.h"
 #include "src/workload/scenario.h"
@@ -48,7 +51,8 @@ RunOutcome RunWithThreads(uint64_t seed, int num_threads,
                           double cancellation_hazard, DispatchMode dispatch,
                           int num_shards = 1,
                           OracleKind oracle = OracleKind::kMatrix,
-                          GeoBackend geo = GeoBackend::kBucket) {
+                          GeoBackend geo = GeoBackend::kBucket,
+                          bool traced = false) {
   WorkloadOptions workload = DeterminismWorkload(seed);
   workload.oracle = oracle;
   workload.geo = geo;
@@ -61,6 +65,13 @@ RunOutcome RunWithThreads(uint64_t seed, int num_threads,
   options.cancellation_hazard = cancellation_hazard;
   options.dispatch = dispatch;
   options.num_shards = num_shards;
+  std::string trace_path, timeline_path;
+  if (traced) {
+    trace_path = ::testing::TempDir() + "/determinism_trace.json";
+    timeline_path = ::testing::TempDir() + "/determinism_timeline.json";
+    options.trace_path = trace_path;
+    options.timeline_path = timeline_path;
+  }
   WatterPlatform platform(&*scenario, &provider, options);
   RunOutcome outcome;
   platform.set_observer([&outcome](const DecisionObservation& obs) {
@@ -71,6 +82,17 @@ RunOutcome RunWithThreads(uint64_t seed, int num_threads,
     }
   });
   outcome.report = platform.Run();
+  if (traced) {
+    // A traced Run() leaves the process-global sinks armed (they accumulate
+    // by design); disarm and drop them so later runs in this binary really
+    // are trace-off, and so buffers do not grow across the matrix.
+    obs::TraceRecorder::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+    obs::HistogramRegistry::Global().Disable();
+    obs::HistogramRegistry::Global().Clear();
+    std::remove(trace_path.c_str());
+    std::remove(timeline_path.c_str());
+  }
   return outcome;
 }
 
@@ -271,6 +293,45 @@ TEST(ShardedDispatchStatsTest, BorderWorkIsObservedAndBounded) {
 INSTANTIATE_TEST_SUITE_P(
     Seeds, ShardedDeterminismTest,
     testing::Combine(testing::Values(7, 1234, 990017),
+                     testing::Values(DispatchMode::kSerial,
+                                     DispatchMode::kBatched)),
+    CaseName);
+
+// Trace axis: arming the observability taps (trace + timeline + histograms)
+// must be invisible in the results — the "on never perturbs" half of the
+// overhead contract (src/obs/trace.h, docs/OBSERVABILITY.md). The untraced
+// 1-thread unsharded run is the reference; traced runs must match it bit
+// for bit across thread counts and shard counts in both engines. The traced
+// runs also prove the export path is safe to run concurrently with worker
+// pools (the span buffers merge under TSan in CI's filtered job).
+class TraceDeterminismTest
+    : public testing::TestWithParam<std::tuple<uint64_t, DispatchMode>> {
+ protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  DispatchMode dispatch() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TraceDeterminismTest, TracedRunsMatchUntracedBitwise) {
+  RunOutcome reference = RunWithThreads(seed(), 1, 0.0, dispatch(), 1);
+  ASSERT_GT(reference.report.served, 0);
+  ASSERT_FALSE(reference.served.empty());
+  for (int shards : {1, 4}) {
+    // The serial engine ignores the shard knob; one pass is enough.
+    if (dispatch() == DispatchMode::kSerial && shards != 1) continue;
+    for (int threads : {1, 8}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " traced");
+      ExpectIdentical(reference,
+                      RunWithThreads(seed(), threads, 0.0, dispatch(),
+                                     shards, OracleKind::kMatrix,
+                                     GeoBackend::kBucket, /*traced=*/true),
+                      threads);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TraceDeterminismTest,
+    testing::Combine(testing::Values(7, 990017),
                      testing::Values(DispatchMode::kSerial,
                                      DispatchMode::kBatched)),
     CaseName);

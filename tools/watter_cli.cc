@@ -33,6 +33,18 @@
 //   reconciliation, and pipelines commit bookkeeping against the next
 //   round's propose. Metrics are identical for any N (the sharded pass is
 //   bitwise-equal to the global one); ignored by --dispatch serial.
+//
+// Observability flags (docs/OBSERVABILITY.md; all run-neutral — metrics are
+// bitwise identical whether they are set or not):
+//   --trace FILE — export a Chrome trace-event JSON of the run (load in
+//   Perfetto / chrome://tracing): phase spans for every check round, pool
+//   refresh internals, oracle batches, thread-pool and commit-pipeline jobs.
+//   --timeline FILE — per-round timeline (pool size, shareability edges,
+//   offers/conflicts, pipeline depth, phase durations, counter deltas) as
+//   JSON, or CSV when FILE ends in ".csv".
+//   --metrics-json FILE — dump the full MetricsReport as one JSON object
+//   (bench_util field names for the overlapping fields, so it diffs against
+//   BENCH_*.json records directly).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +73,7 @@ struct CliArgs {
   std::string strategy = "online";
   std::string model_path;
   std::string out_dir = ".";
+  std::string metrics_json_path;
   bool ok = true;
   std::string error;
 };
@@ -80,7 +93,10 @@ struct CliArgs {
                "                  --threads T (0 = all hardware threads)\n"
                "                  --dispatch serial|batched (default batched)\n"
                "                  --geo per-query|bucket (default bucket)\n"
-               "                  --shards N (default 1 = unsharded commit)\n");
+               "                  --shards N (default 1 = unsharded commit)\n"
+               "  observability:  --trace FILE (Chrome trace-event JSON)\n"
+               "                  --timeline FILE (per-round JSON; .csv = CSV)\n"
+               "                  --metrics-json FILE (full report as JSON)\n");
   std::exit(2);
 }
 
@@ -159,6 +175,12 @@ CliArgs Parse(int argc, char** argv) {
       args.model_path = need_value("--model");
     } else if (std::strcmp(argv[i], "--out") == 0) {
       args.out_dir = need_value("--out");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      args.workload.trace_path = need_value("--trace");
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      args.workload.timeline_path = need_value("--timeline");
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      args.metrics_json_path = need_value("--metrics-json");
     } else {
       Usage((std::string("unknown flag: ") + argv[i]).c_str());
     }
@@ -272,6 +294,9 @@ int Run(const CliArgs& args) {
     // Bootstrap a same-shaped training day, fit, then run.
     WorkloadOptions boot = args.workload;
     boot.seed = args.workload.seed * 31 + 7;
+    // Observe the evaluation run only, not the bootstrap day.
+    boot.trace_path.clear();
+    boot.timeline_path.clear();
     auto boot_scenario = GenerateScenario(boot);
     if (!boot_scenario.ok()) return 1;
     TimeoutThresholdProvider timeout;
@@ -291,6 +316,18 @@ int Run(const CliArgs& args) {
     Usage("unknown strategy");
   }
   PrintReport(name, report);
+  if (!args.metrics_json_path.empty()) {
+    std::FILE* f = std::fopen(args.metrics_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "metrics-json write failed: %s\n",
+                   args.metrics_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", MetricsReportJson(report).c_str());
+    std::fclose(f);
+    std::printf("metrics JSON written to %s\n",
+                args.metrics_json_path.c_str());
+  }
   return 0;
 }
 
