@@ -17,14 +17,17 @@ int main(int argc, char** argv) {
   std::vector<DispatchMode> modes = BenchDispatchModes(argc, argv);
   std::vector<int> shard_sweep = BenchShardsSweep(argc, argv);
   GeoBackend geo = BenchGeoBackend(argc, argv);
+  std::string faults = BenchFaultSpec(argc, argv);
   BenchJson().path = BenchJsonPath(argc, argv);
   BenchJson().threads = threads;
   BenchJson().geo = GeoName(geo);
+  BenchJson().faults = faults;
 
   for (DatasetKind dataset : BenchDatasets(argc, argv, quick)) {
     WorkloadOptions base = BaseWorkload(dataset);
     base.num_threads = threads;
     base.geo = geo;
+    base.faults = faults;
     std::unique_ptr<ExpectModel> model;
     if (!quick) {
       auto trained = TrainExpect(base);
@@ -65,6 +68,11 @@ int main(int argc, char** argv) {
         if (mode == DispatchMode::kBatched && shards != 1) {
           figure += " [shards=" + std::to_string(shards) + "]";
         }
+        if (!faults.empty()) figure += " [faults]";
+        // GDP/GAS have their own loops and ignore the fault knob entirely;
+        // a faulted sweep would just re-record their faultless numbers.
+        bool with_baselines = faults.empty() && mode == modes.front() &&
+                              shards == shard_sweep.front();
         RunSweep<int>(
             figure, dataset, "n", sweep,
             [&base](int n) {
@@ -72,9 +80,7 @@ int main(int argc, char** argv) {
               options.num_orders = n;
               return options;
             },
-            AlgorithmFamily(model.get(), sim,
-                            /*with_baselines=*/mode == modes.front() &&
-                                shards == shard_sweep.front()));
+            AlgorithmFamily(model.get(), sim, with_baselines));
       }
     }
   }

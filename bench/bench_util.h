@@ -133,6 +133,28 @@ inline std::vector<int> BenchShardsSweep(int argc, char** argv) {
   return shards;
 }
 
+/// Deterministic fault-injection spec for the simulated runs: `--faults
+/// SPEC` or WATTER_BENCH_FAULTS (docs/ROBUSTNESS.md grammar). Empty (the
+/// default) keeps fault injection off — the sweep is then bitwise identical
+/// to a faultless build. A faulted sweep is what BENCH_faults.json records:
+/// the GDP/GAS baselines ignore faults, so drivers skip them when a spec is
+/// set.
+inline std::string BenchFaultSpec(int argc, char** argv) {
+  const char* value = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) value = argv[i + 1];
+  }
+  if (value == nullptr) value = std::getenv("WATTER_BENCH_FAULTS");
+  if (value == nullptr) return "";
+  Result<FaultSpec> parsed = ParseFaultSpec(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad --faults value: %s\n",
+                 parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
 /// For drivers that take one shard count per invocation: like
 /// BenchShardsSweep but rejects a comma list loudly.
 inline int SingleBenchShards(int argc, char** argv) {
@@ -170,6 +192,7 @@ struct JsonSink {
   const char* dispatch = "batched";
   const char* geo = "bucket";
   int shards = 1;
+  std::string faults;  ///< Fault spec of the sweep ("" = faults off).
   std::vector<std::string> records;
 
   ~JsonSink() { Flush(); }
@@ -358,12 +381,13 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
       results.back().push_back(algorithm.run(&*scenario));
       if (!BenchJson().path.empty()) {
         const MetricsReport& r = results.back().back();
-        char record[1024];
+        char record[2048];
         std::snprintf(
             record, sizeof(record),
             "{\"figure\": \"%s\", \"dataset\": \"%s\", \"sweep\": \"%s\", "
             "\"value\": %s, \"algorithm\": \"%s\", \"threads\": %d, "
             "\"dispatch\": \"%s\", \"geo\": \"%s\", \"shards\": %d, "
+            "\"faults\": \"%s\", "
             "\"served\": %lld, \"rejected\": %lld, "
             "\"metrs_objective\": %.6g, \"unified_cost\": %.6g, "
             "\"service_rate\": %.6g, \"running_time_per_order_us\": %.3f, "
@@ -372,11 +396,19 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
             "\"plan_cache_hits\": %lld, \"plan_cache_misses\": %lld, "
             "\"plan_cache_replans\": %lld, \"plan_cache_seeds\": %lld, "
             "\"oracle_queries\": %lld, \"oracle_batches\": %lld, "
-            "\"oracle_batch_points\": %lld}",
+            "\"oracle_batch_points\": %lld, "
+            "\"cancelled\": %lld, \"failed_services\": %lld, "
+            "\"fault_dropouts\": %lld, \"fault_midroute_dropouts\": %lld, "
+            "\"fault_late_dropouts\": %lld, \"fault_returns\": %lld, "
+            "\"fault_brownout_rounds\": %lld, \"fault_stalls\": %lld, "
+            "\"fault_recovered_orders\": %lld, "
+            "\"fault_aborted_commits\": %lld, \"shed_orders\": %lld, "
+            "\"degraded_rounds\": %lld, \"work_units\": %lld}",
             figure.c_str(), DatasetName(dataset), sweep_label.c_str(),
             std::to_string(value).c_str(), algorithm.name.c_str(),
             BenchJson().threads, BenchJson().dispatch, BenchJson().geo,
-            BenchJson().shards, static_cast<long long>(r.served),
+            BenchJson().shards, BenchJson().faults.c_str(),
+            static_cast<long long>(r.served),
             static_cast<long long>(r.rejected), r.metrs_objective,
             r.unified_cost, r.service_rate, r.running_time_per_order * 1e6,
             static_cast<long long>(r.pool.planner_plans),
@@ -389,7 +421,20 @@ void RunSweep(const std::string& figure, DatasetKind dataset,
             static_cast<long long>(r.pool.plan_cache_seeds),
             static_cast<long long>(r.geo.queries),
             static_cast<long long>(r.geo.batches),
-            static_cast<long long>(r.geo.batch_points));
+            static_cast<long long>(r.geo.batch_points),
+            static_cast<long long>(r.cancelled),
+            static_cast<long long>(r.failed_services),
+            static_cast<long long>(r.faults.dropouts),
+            static_cast<long long>(r.faults.midroute_dropouts),
+            static_cast<long long>(r.faults.late_dropouts),
+            static_cast<long long>(r.faults.returns),
+            static_cast<long long>(r.faults.brownout_rounds),
+            static_cast<long long>(r.faults.stalls),
+            static_cast<long long>(r.faults.recovered_orders),
+            static_cast<long long>(r.faults.aborted_commits),
+            static_cast<long long>(r.faults.shed_orders),
+            static_cast<long long>(r.faults.degraded_rounds),
+            static_cast<long long>(r.faults.work_units));
         BenchJson().records.emplace_back(record);
       }
     }

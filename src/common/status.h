@@ -26,6 +26,7 @@ enum class StatusCode {
   kInfeasible = 6,  ///< A planning request has no feasible solution.
   kIoError = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,  ///< A bounded wait ran out of time.
 };
 
 /// Returns a short human-readable name for a status code ("Ok", "NotFound"...).
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

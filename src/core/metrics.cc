@@ -24,16 +24,49 @@ void MetricsCollector::RecordRejected(const Order& order) {
   total_uc_penalty_ += options_.uc_penalty_factor * order.shortest_cost;
 }
 
+void MetricsCollector::RecordCancelled(const Order& order) {
+  // Cancellations are rejections with a break-out counter: the aggregate
+  // penalties stay bitwise identical whether or not the break-out exists.
+  RecordRejected(order);
+  ++cancelled_;
+}
+
+void MetricsCollector::RecordFailedService(const Order& order) {
+  ++failed_;
+  total_metrs_penalty_ += order.Penalty();
+  total_uc_penalty_ += options_.uc_penalty_factor * order.shortest_cost;
+}
+
+void MetricsCollector::ReverseServed(const Order& order, double response,
+                                     double detour, int group_size) {
+  (void)order;
+  // Recompute the identical extra value RecordServed derived and subtract
+  // the same stored floats. The sums need not bit-restore (float add is not
+  // reversible in general) — determinism comes from the reversal itself
+  // being a fixed step in the serial fault phase.
+  double extra =
+      options_.weights.alpha * detour + options_.weights.beta * response;
+  --served_;
+  total_extra_ -= extra;
+  total_response_ -= response;
+  total_detour_ -= detour;
+  total_group_size_ -= group_size;
+}
+
 MetricsReport MetricsCollector::Report() const {
   MetricsReport report;
   report.served = served_;
   report.rejected = rejected_;
+  report.cancelled = cancelled_;
+  report.failed_services = failed_;
   report.total_extra_time = total_extra_;
   report.total_metrs_penalty = total_metrs_penalty_;
   report.metrs_objective = total_extra_ + total_metrs_penalty_;
   report.worker_travel = worker_travel_;
   report.unified_cost = worker_travel_ + total_uc_penalty_;
-  int64_t total = served_ + rejected_;
+  // Failed services are terminal outcomes: they join the denominator (with
+  // failed_ == 0 the arithmetic is untouched).
+  int64_t total = served_ + rejected_ + failed_;
   report.service_rate = total > 0 ? static_cast<double>(served_) / total : 0.0;
   report.avg_extra = served_ > 0 ? total_extra_ / served_ : 0.0;
   report.avg_response = served_ > 0 ? total_response_ / served_ : 0.0;
@@ -95,7 +128,21 @@ std::string MetricsReportJson(const MetricsReport& report) {
   i64("worker_conflicts", report.dispatch.worker_conflicts);
   i64("order_conflicts", report.dispatch.order_conflicts);
   i64("border_offers", report.dispatch.border_offers);
-  i64("border_affected", report.dispatch.border_affected, "}");
+  i64("border_affected", report.dispatch.border_affected);
+  i64("cancelled", report.cancelled);
+  i64("failed_services", report.failed_services);
+  i64("fault_dropouts", report.faults.dropouts);
+  i64("fault_midroute_dropouts", report.faults.midroute_dropouts);
+  i64("fault_late_dropouts", report.faults.late_dropouts);
+  i64("fault_returns", report.faults.returns);
+  i64("fault_brownout_rounds", report.faults.brownout_rounds);
+  i64("fault_stalls", report.faults.stalls);
+  i64("fault_recovered_orders", report.faults.recovered_orders);
+  i64("fault_aborted_commits", report.faults.aborted_commits);
+  i64("shed_orders", report.faults.shed_orders);
+  i64("degraded_rounds", report.faults.degraded_rounds);
+  i64("work_units", report.faults.work_units);
+  i64("watchdog_trips", report.faults.watchdog_trips, "}");
   return os.str();
 }
 

@@ -80,10 +80,38 @@ struct DispatchStats {
                                   ///< reconciliation pass by a border link.
 };
 
+/// Fault-injection and overload-degradation counters of one run (zero when
+/// `--faults` and the round work budget are off; docs/ROBUSTNESS.md). All
+/// deterministic: faults fire from a precomputed schedule and shedding is
+/// decided from frozen state, so these diff bitwise across thread and shard
+/// counts like PoolStats — except watchdog_trips, which is wall-clock
+/// driven (CLI opt-in) and excluded from determinism comparisons.
+struct FaultStats {
+  int64_t dropouts = 0;           ///< Workers taken offline at round starts.
+  int64_t midroute_dropouts = 0;  ///< Of those, mid-route with riders aboard.
+  int64_t late_dropouts = 0;      ///< Dropouts between resolve and commit.
+  int64_t returns = 0;            ///< Workers brought back online.
+  int64_t brownout_rounds = 0;    ///< Rounds run under a degraded oracle.
+  int64_t stalls = 0;             ///< Pipeline stall events injected.
+  int64_t recovered_orders = 0;   ///< Aboard orders re-pooled after a dropout.
+  int64_t failed_services = 0;    ///< Aboard orders past deadline at dropout.
+  int64_t aborted_commits = 0;    ///< Winning offers undone by a lost worker.
+  int64_t shed_orders = 0;        ///< Propose work deferred by the budget.
+  int64_t degraded_rounds = 0;    ///< Rounds that shed at least one order.
+  int64_t work_units = 0;         ///< Propose work units spent (budgeted runs).
+  int64_t watchdog_trips = 0;     ///< Wall-clock watchdog activations.
+};
+
 /// Aggregated results of one simulation run.
 struct MetricsReport {
   int64_t served = 0;
   int64_t rejected = 0;
+  /// Orders cancelled by the rider hazard — a subset of `rejected` (they
+  /// carry the same penalties), broken out for fault/chaos accounting.
+  int64_t cancelled = 0;
+  /// Orders that boarded but could not be served within their (grace-
+  /// extended) deadline after a worker dropout. Terminal, like rejection.
+  int64_t failed_services = 0;
   double total_extra_time = 0.0;    ///< Sum of te over served orders.
   double total_metrs_penalty = 0.0; ///< Sum of p(i) over rejected orders.
   double metrs_objective = 0.0;     ///< Equation 2.
@@ -108,6 +136,9 @@ struct MetricsReport {
   /// Batched-dispatch work counters (filled by WatterPlatform's batched
   /// engine; zero under kSerial and in the baselines).
   DispatchStats dispatch;
+  /// Fault-injection / degradation counters (filled by WatterPlatform; all
+  /// zero when faults and the work budget are off).
+  FaultStats faults;
 
   /// One-line summary for logs.
   std::string ToString() const;
@@ -133,6 +164,25 @@ class MetricsCollector {
   /// Records a rejected order (adds its METRS and unified-cost penalties).
   void RecordRejected(const Order& order);
 
+  /// Records a rider-cancelled order: same penalties as a rejection (the
+  /// cancelled_ count is a subset of rejected_, so faults-off aggregates
+  /// are unchanged), plus the cancellation break-out.
+  void RecordCancelled(const Order& order);
+
+  /// Records an order that boarded but could not be served within its
+  /// deadline after its worker dropped out (docs/ROBUSTNESS.md). Carries
+  /// rejection-style penalties; terminal, so it joins the service-rate
+  /// denominator.
+  void RecordFailedService(const Order& order);
+
+  /// Exactly undoes an earlier RecordServed for an aboard-but-undelivered
+  /// order whose worker dropped out: the same float contributions are
+  /// subtracted, so a recovered order that later serves again accumulates
+  /// from a clean slate. The historical served_extra_times() sample keeps
+  /// the original entry (it is a fitting corpus, not an invariant).
+  void ReverseServed(const Order& order, double response, double detour,
+                     int group_size);
+
   /// Adds driver travel seconds (pickup legs + route legs).
   void AddWorkerTravel(double seconds) { worker_travel_ += seconds; }
 
@@ -156,7 +206,11 @@ class MetricsCollector {
   }
 
   const MetricsOptions& options() const { return options_; }
-  int64_t total_orders() const { return served_ + rejected_; }
+  int64_t total_orders() const { return served_ + rejected_ + failed_; }
+  int64_t served_count() const { return served_; }
+  int64_t rejected_count() const { return rejected_; }
+  int64_t cancelled_count() const { return cancelled_; }
+  int64_t failed_count() const { return failed_; }
 
   /// Finalizes averages and rates into a report.
   MetricsReport Report() const;
@@ -165,6 +219,8 @@ class MetricsCollector {
   MetricsOptions options_;
   int64_t served_ = 0;
   int64_t rejected_ = 0;
+  int64_t cancelled_ = 0;  // Subset of rejected_.
+  int64_t failed_ = 0;     // Failed services (not part of rejected_).
   double total_extra_ = 0.0;
   double total_response_ = 0.0;
   double total_detour_ = 0.0;

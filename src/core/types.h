@@ -62,6 +62,7 @@ struct Worker {
   int capacity = 4;                ///< Vehicle capacity k(j).
   bool busy = false;               ///< Availability a(j).
   Time available_at = 0.0;         ///< When the current delivery finishes.
+  bool offline = false;            ///< Dropped out (fault injection).
 };
 
 }  // namespace watter

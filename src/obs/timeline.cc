@@ -42,6 +42,12 @@ const FieldDef kFields[] = {
     {"plan_cache_misses", &RoundSample::plan_cache_misses, nullptr, kSum},
     {"geo_queries", &RoundSample::geo_queries, nullptr, kSum},
     {"geo_batches", &RoundSample::geo_batches, nullptr, kSum},
+    {"fault_events", &RoundSample::fault_events, nullptr, kSum},
+    {"recovered", &RoundSample::recovered, nullptr, kSum},
+    {"failed", &RoundSample::failed, nullptr, kSum},
+    {"shed", &RoundSample::shed, nullptr, kSum},
+    {"degraded", &RoundSample::degraded, nullptr, kSum},
+    {"work_units", &RoundSample::work_units, nullptr, kSum},
     {"maintenance_s", nullptr, &RoundSample::maintenance_s, kSum},
     {"refresh_s", nullptr, &RoundSample::refresh_s, kSum},
     {"propose_s", nullptr, &RoundSample::propose_s, kSum},

@@ -48,6 +48,17 @@ struct RoundSample {
   int64_t geo_queries = 0;
   int64_t geo_batches = 0;
 
+  // Robustness columns (docs/ROBUSTNESS.md) — all zero when fault injection
+  // and the work budget are off. fault_events counts the dropout/return/
+  // stall events applied this round; degraded is 1 while a brownout window
+  // is open; the rest are per-round deltas of the FaultStats counters.
+  int64_t fault_events = 0;
+  int64_t recovered = 0;   ///< Aboard orders re-pooled after dropouts.
+  int64_t failed = 0;      ///< Aboard orders failed terminally.
+  int64_t shed = 0;        ///< Orders shed by the work budget.
+  int64_t degraded = 0;    ///< 1 = round ran under a brownout.
+  int64_t work_units = 0;  ///< Work units charged by the budget pass.
+
   // Per-phase wall-clock (seconds). The serial engine folds its whole
   // decision loop into commit_s (it has no propose/resolve split).
   double maintenance_s = 0.0;

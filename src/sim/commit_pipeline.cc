@@ -7,7 +7,7 @@
 
 namespace watter {
 
-CommitPipeline::CommitPipeline() {
+CommitPipeline::CommitPipeline(int max_depth) : max_depth_(max_depth) {
   consumer_ = std::thread([this] {
     obs::TraceRecorder::Global().SetCurrentThreadName("commit-pipeline");
     ConsumerLoop();
@@ -20,6 +20,7 @@ CommitPipeline::~CommitPipeline() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();  // Unblock any producer stuck on a full queue.
   consumer_.join();
 }
 
@@ -39,6 +40,15 @@ void CommitPipeline::Enqueue(std::function<void()> job) {
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (max_depth_ > 0) {
+      // Backpressure: a producer ahead of a stalled consumer waits here
+      // instead of growing the queue without bound. Wall-clock only — job
+      // order (the determinism-bearing property) is unchanged.
+      space_cv_.wait(lock, [this] {
+        return stop_ || static_cast<int>(queue_.size()) < max_depth_;
+      });
+      if (stop_) return;  // Shutting down; the job would never run anyway.
+    }
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
@@ -50,9 +60,38 @@ void CommitPipeline::Drain() {
   drain_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
 }
 
+Status CommitPipeline::DrainFor(double timeout_seconds) {
+  WATTER_TRACE_SPAN("pipeline.drain");
+  std::unique_lock<std::mutex> lock(mu_);
+  bool drained = drain_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return queue_.empty() && !running_; });
+  if (!drained) {
+    return Status::DeadlineExceeded(
+        "commit pipeline still has " +
+        std::to_string(queue_.size() + (running_ ? 1 : 0)) +
+        " job(s) outstanding");
+  }
+  return Status::Ok();
+}
+
+void CommitPipeline::InjectStall(double seconds) {
+  Enqueue([this, seconds] {
+    WATTER_TRACE_SPAN("pipeline.stall");
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stalls_executed_;
+  });
+}
+
 int CommitPipeline::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(queue_.size()) + (running_ ? 1 : 0);
+}
+
+int64_t CommitPipeline::stalls_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stalls_executed_;
 }
 
 void CommitPipeline::ConsumerLoop() {
@@ -66,6 +105,7 @@ void CommitPipeline::ConsumerLoop() {
     std::function<void()> job = std::move(queue_.front());
     queue_.pop_front();
     running_ = true;
+    if (max_depth_ > 0) space_cv_.notify_one();
     lock.unlock();
     {
       WATTER_TRACE_SPAN_HOT("pipeline.job");

@@ -16,22 +16,34 @@
 // jobs inline, for any thread or shard count. Drain() is the barrier the
 // platform calls before anything reads the metrics (threshold prologue,
 // GMM refits, the final report).
+//
+// Backpressure (docs/ROBUSTNESS.md): an optional queue bound makes Enqueue
+// block while the consumer is `max_depth` jobs behind, so a stalled
+// consumer slows the producer instead of growing the queue without limit.
+// InjectStall enqueues a metric-neutral consumer sleep (fault injection's
+// stall events), and DrainFor is the timeout-bounded drain the watchdog
+// paths use — it reports DeadlineExceeded instead of blocking forever.
 #ifndef WATTER_SIM_COMMIT_PIPELINE_H_
 #define WATTER_SIM_COMMIT_PIPELINE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "src/common/status.h"
+
 namespace watter {
 
 /// Single-consumer FIFO executor for deferred commit bookkeeping.
 class CommitPipeline {
  public:
-  CommitPipeline();
+  /// `max_depth` bounds the queue (0 = unbounded): Enqueue blocks until a
+  /// slot frees up when the bound is reached.
+  explicit CommitPipeline(int max_depth = 0);
   ~CommitPipeline();
 
   CommitPipeline(const CommitPipeline&) = delete;
@@ -39,24 +51,44 @@ class CommitPipeline {
 
   /// Appends a job; the consumer runs jobs strictly in enqueue order.
   /// Jobs must own (by copy or shared snapshot) everything they touch.
+  /// Blocks while the queue is at max_depth (bounded pipelines only).
   void Enqueue(std::function<void()> job);
 
   /// Blocks until every job enqueued so far has finished executing.
   void Drain();
 
+  /// Drain with a timeout: DeadlineExceeded if jobs are still outstanding
+  /// after `timeout_seconds` (the queue keeps draining in the background —
+  /// the timeout abandons the wait, not the work).
+  Status DrainFor(double timeout_seconds);
+
+  /// Enqueues a consumer sleep of `seconds` (fault injection's pipeline
+  /// stall). Purely wall-clock: no metrics or state are touched, so stalls
+  /// are run-neutral on everything the determinism contract covers.
+  void InjectStall(double seconds);
+
   /// Jobs waiting (plus the one running, if any) right now. Diagnostic: the
   /// timeline sampler reads it between rounds to chart consumer backlog.
   int depth() const;
 
+  /// Stall events executed so far (diagnostic).
+  int64_t stalls_executed() const;
+
+  /// The configured queue bound (0 = unbounded).
+  int max_depth() const { return max_depth_; }
+
  private:
   void ConsumerLoop();
 
+  const int max_depth_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // Signals new jobs (or shutdown).
   std::condition_variable drain_cv_;  // Signals the queue ran dry.
+  std::condition_variable space_cv_;  // Signals a bounded queue freed a slot.
   std::deque<std::function<void()>> queue_;
   bool running_ = false;  // Consumer is inside a job (not yet drained).
   bool stop_ = false;
+  int64_t stalls_executed_ = 0;
   std::thread consumer_;
 };
 

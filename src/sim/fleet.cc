@@ -1,5 +1,7 @@
 #include "src/sim/fleet.h"
 
+#include <algorithm>
+
 #include "src/common/status.h"
 
 namespace watter {
@@ -7,16 +9,20 @@ namespace watter {
 Fleet::Fleet(std::vector<Worker> workers, const Graph* graph, int grid_cells)
     : workers_(std::move(workers)),
       graph_(graph),
-      idle_index_(graph->MinCorner(), graph->MaxCorner(), grid_cells) {
+      idle_index_(graph->MinCorner(), graph->MaxCorner(), grid_cells),
+      trip_epoch_(workers_.size(), 0) {
   for (const Worker& worker : workers_) {
     idle_index_.Insert(worker.id, graph_->node_point(worker.location));
   }
 }
 
 void Fleet::ReleaseUntil(Time now) {
-  while (!busy_.empty() && busy_.top().first <= now) {
-    WorkerId id = busy_.top().second;
+  while (!busy_.empty() && std::get<0>(busy_.top()) <= now) {
+    auto [until, id, epoch] = busy_.top();
     busy_.pop();
+    // A mismatched epoch marks a trip cancelled by TakeOffline: the worker
+    // is no longer driving this route, so the entry is dead weight.
+    if (epoch != trip_epoch_[id - 1]) continue;
     Worker& worker = workers_[id - 1];
     worker.busy = false;
     idle_index_.Insert(id, graph_->node_point(worker.location));
@@ -67,7 +73,8 @@ std::vector<WorkerId> Fleet::IdleWorkerIds() const {
 
 bool Fleet::TryClaim(WorkerId id, int arena) {
   // A worker is claimable exactly while it sits in the idle index: driving
-  // workers left it in CommitClaim, claimed ones in a previous TryClaim.
+  // workers left it in CommitClaim, claimed ones in a previous TryClaim,
+  // offline ones in TakeOffline.
   if (!idle_index_.Contains(id)) return false;
   WATTER_CHECK_OK(idle_index_.Remove(id));
   workers_[id - 1].busy = true;
@@ -75,21 +82,30 @@ bool Fleet::TryClaim(WorkerId id, int arena) {
   return true;
 }
 
-void Fleet::CommitClaim(WorkerId id, Time until, NodeId final_node) {
-  // Committing an unclaimed worker means the commit pass and the fleet
-  // state diverged.
-  WATTER_CHECK(claimed_.erase(id) == 1, "commit of unclaimed worker");
+Status Fleet::CommitClaim(WorkerId id, Time until, NodeId final_node) {
+  // The claim can legitimately be gone: a fault may have taken the claimed
+  // worker offline between resolution and commit. The caller treats this
+  // like losing the worker-contention conflict.
+  if (claimed_.erase(id) != 1) {
+    return Status::FailedPrecondition("commit of unclaimed worker " +
+                                      std::to_string(id));
+  }
   Worker& worker = workers_[id - 1];
   worker.available_at = until;
   worker.location = final_node;
-  busy_.push({until, id});
+  busy_.push({until, id, trip_epoch_[id - 1]});
+  return Status::Ok();
 }
 
-void Fleet::ReleaseClaim(WorkerId id) {
-  WATTER_CHECK(claimed_.erase(id) == 1, "release of unclaimed worker");
+Status Fleet::ReleaseClaim(WorkerId id) {
+  if (claimed_.erase(id) != 1) {
+    return Status::FailedPrecondition("release of unclaimed worker " +
+                                      std::to_string(id));
+  }
   Worker& worker = workers_[id - 1];
   worker.busy = false;
   idle_index_.Insert(id, graph_->node_point(worker.location));
+  return Status::Ok();
 }
 
 int Fleet::ReleaseArena(int arena) {
@@ -100,15 +116,55 @@ int Fleet::ReleaseArena(int arena) {
   // Ascending-id rollback: the released workers re-enter the idle index in
   // a deterministic order, so later probes never depend on map iteration.
   std::sort(staged.begin(), staged.end());
-  for (WorkerId id : staged) ReleaseClaim(id);
+  // The ids were collected from claimed_ this instant, so each release must
+  // succeed — failure here is a real invariant break, not a fault path.
+  for (WorkerId id : staged) WATTER_CHECK_OK(ReleaseClaim(id));
   return static_cast<int>(staged.size());
 }
 
-void Fleet::Dispatch(WorkerId id, Time until, NodeId final_node) {
-  // Dispatch is only called for workers FindClosestIdle returned, so the
-  // claim must succeed.
-  WATTER_CHECK(TryClaim(id), "dispatch of non-idle worker");
-  CommitClaim(id, until, final_node);
+Status Fleet::Dispatch(WorkerId id, Time until, NodeId final_node) {
+  if (!TryClaim(id)) {
+    return Status::FailedPrecondition("dispatch of non-idle worker " +
+                                      std::to_string(id));
+  }
+  return CommitClaim(id, until, final_node);
+}
+
+WorkerTake Fleet::TakeOffline(WorkerId id) {
+  Worker& worker = workers_[id - 1];
+  if (worker.offline) return WorkerTake::kOffline;
+  worker.offline = true;
+  ++offline_count_;
+  if (idle_index_.Contains(id)) {
+    WATTER_CHECK_OK(idle_index_.Remove(id));
+    worker.busy = false;
+    return WorkerTake::kIdle;
+  }
+  if (claimed_.erase(id) == 1) {
+    // The claim dies with the worker; the commit pass notices when its
+    // CommitClaim/ReleaseClaim comes back FailedPrecondition.
+    worker.busy = false;
+    return WorkerTake::kClaimed;
+  }
+  // Mid-route: cancel the trip by bumping the epoch; the busy-heap entry
+  // recorded the old epoch and will be skipped when it surfaces.
+  ++trip_epoch_[id - 1];
+  worker.busy = false;
+  return WorkerTake::kBusy;
+}
+
+Status Fleet::BringOnline(WorkerId id, Time now) {
+  Worker& worker = workers_[id - 1];
+  if (!worker.offline) {
+    return Status::FailedPrecondition("worker " + std::to_string(id) +
+                                      " is not offline");
+  }
+  worker.offline = false;
+  worker.busy = false;
+  worker.available_at = now;
+  --offline_count_;
+  idle_index_.Insert(id, graph_->node_point(worker.location));
+  return Status::Ok();
 }
 
 }  // namespace watter

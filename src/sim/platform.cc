@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <unordered_set>
 #include <utility>
 
 #include "src/common/status.h"
@@ -30,6 +31,53 @@ int ResolveShards(const SimOptions& options, const Scenario& scenario) {
                                        : scenario.options.num_shards;
   return std::max(1, shards);
 }
+
+FaultSpec ResolveFaultSpec(const SimOptions& options,
+                           const Scenario& scenario) {
+  const std::string& spec = !options.faults.empty()
+                                ? options.faults
+                                : scenario.options.faults;
+  if (spec.empty()) return FaultSpec{};
+  Result<FaultSpec> parsed = ParseFaultSpec(spec);
+  // The CLI validates specs before construction; an invalid spec reaching
+  // an embedder is a configuration programmer error.
+  WATTER_CHECK(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+int64_t ResolveBudget(const SimOptions& options, const Scenario& scenario) {
+  int64_t budget = options.round_work_budget != 0
+                       ? options.round_work_budget
+                       : scenario.options.round_work_budget;
+  return budget < 0 ? 0 : budget;  // Negative = force unlimited.
+}
+
+// Fault event times are drawn over the arrival window, derived from
+// workload options only (never run state), so the schedule is
+// engine/thread/shard-invariant. Workloads sample release times as
+// time-of-day, so the window starts at `start_hour`, not zero; the window
+// length is the arrival duration, so every injected event lands while
+// orders are still arriving (the pool is guaranteed non-empty, so check
+// rounds are still running). Scheduled *returns* may spill past it into
+// the drain tail — or past the last round entirely, in which case the
+// worker simply never comes back.
+double FaultWindowStart(const Scenario& scenario) {
+  return scenario.options.start_hour * 3600.0;
+}
+
+double FaultHorizon(const Scenario& scenario) {
+  return scenario.options.duration;
+}
+
+// Work-unit charge for one planner plan, relative to a single candidate
+// probe (a plan is a small combinatorial search; a probe is one batched
+// oracle query). Calibration matters less than determinism: any fixed
+// constant yields a deterministic shed set.
+constexpr int64_t kPlanWorkUnits = 8;
+
+// Floor the watchdog can clamp the effective budget to — rounds always
+// retain enough budget to make progress on the most urgent orders.
+constexpr int64_t kMinWatchdogBudget = 64;
 
 // Everything a deferred commit job records about one served member, copied
 // out of the pool before the member is removed.
@@ -70,9 +118,23 @@ WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
       provider_(provider),
       options_(options),
       num_shards_(ResolveShards(options, *scenario)),
+      fault_spec_(ResolveFaultSpec(options, *scenario)),
+      injector_(fault_spec_.any()
+                    ? std::make_unique<FaultInjector>(
+                          fault_spec_,
+                          static_cast<int>(scenario->workers.size()),
+                          FaultHorizon(*scenario),
+                          FaultWindowStart(*scenario))
+                    : nullptr),
+      degraded_oracle_(fault_spec_.brownouts > 0
+                           ? std::make_unique<DegradedOracle>(
+                                 scenario->oracle.get())
+                           : nullptr),
+      oracle_(degraded_oracle_
+                  ? static_cast<TravelTimeOracle*>(degraded_oracle_.get())
+                  : scenario->oracle.get()),
       executor_(ResolveThreads(options, *scenario)),
-      pool_(scenario->oracle.get(),
-            MergePoolOptions(options.pool, *scenario)),
+      pool_(oracle_, MergePoolOptions(options.pool, *scenario)),
       fleet_(scenario->workers, &scenario->city->graph, options.grid_cells),
       metrics_(options.metrics),
       rng_(options.sim_seed),
@@ -84,10 +146,15 @@ WatterPlatform::WatterPlatform(Scenario* scenario, ThresholdProvider* provider,
                             options.grid_cells) {
   pool_.set_executor(&executor_);
   // The bookkeeping pipeline exists only for the sharded batched engine;
-  // the unsharded path keeps its fully synchronous commit.
+  // the unsharded path keeps its fully synchronous commit. The fault
+  // spec's qcap bounds the queue (0 = unbounded, the default).
   if (options_.dispatch == DispatchMode::kBatched && num_shards_ > 1) {
-    pipeline_ = std::make_unique<CommitPipeline>();
+    pipeline_ = std::make_unique<CommitPipeline>(fault_spec_.qcap);
   }
+  track_trips_ = injector_ != nullptr && fault_spec_.has_dropouts();
+  work_budget_ = ResolveBudget(options_, *scenario);
+  effective_budget_ = work_budget_;
+  budgeting_ = work_budget_ > 0 || options_.watchdog_ms > 0.0;
   // Observability knobs: SimOptions wins when set, else the scenario's
   // workload options (the CLI/bench path).
   trace_path_ = !options_.trace_path.empty() ? options_.trace_path
@@ -138,9 +205,14 @@ void WatterPlatform::RemoveFromIndexes(const Order& order) {
   WATTER_CHECK_OK(demand_dropoff_index_.Remove(order.id));
 }
 
-void WatterPlatform::RejectOrder(const Order& order, Time now) {
+void WatterPlatform::RejectOrder(const Order& order, Time now,
+                                 bool cancelled) {
   Observe(order, now, /*action=*/0, /*expired=*/true, 0.0);
-  metrics_.RecordRejected(order);
+  if (cancelled) {
+    metrics_.RecordCancelled(order);
+  } else {
+    metrics_.RecordRejected(order);
+  }
   RemoveFromIndexes(order);
   WATTER_CHECK_OK(pool_.Remove(order.id));
 }
@@ -151,25 +223,27 @@ bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
   for (const Order* member : members) riders += member->riders;
   NodeId first_stop = plan.route.stops.front().node;
   WorkerId worker_id =
-      fleet_.FindClosestIdle(first_stop, riders, scenario_->oracle.get(),
+      fleet_.FindClosestIdle(first_stop, riders, oracle_,
                              options_.worker_candidates);
   if (worker_id == kInvalidWorker) return false;
 
   // Claim-validate-commit (the same two-phase protocol the batched commit
   // pass uses): reserve the worker, roll the claim back if the exact
-  // pickup leg turns out unreachable.
+  // pickup leg turns out unreachable. The claim itself must succeed —
+  // FindClosestIdle just returned the worker from the idle index and
+  // nothing mutates the fleet in between.
   WATTER_CHECK(fleet_.TryClaim(worker_id),
                "serial dispatch: closest idle worker not claimable");
   const Worker& worker = fleet_.worker(worker_id);
-  double pickup_delay =
-      scenario_->oracle->Cost(worker.location, first_stop);
+  double pickup_delay = oracle_->Cost(worker.location, first_stop);
   if (pickup_delay == kInfCost) {
-    fleet_.ReleaseClaim(worker_id);
+    WATTER_CHECK_OK(fleet_.ReleaseClaim(worker_id));
     return false;
   }
 
   // Record outcomes per member (response = notification wait, Definition 4;
   // detour per Definition 5).
+  ActiveTrip trip;
   for (size_t i = 0; i < members.size(); ++i) {
     const Order& member = *members[i];
     double response = now - member.release;
@@ -179,11 +253,21 @@ bool WatterPlatform::TryDispatch(const std::vector<const Order*>& members,
     metrics_.RecordServed(member, response, detour,
                           static_cast<int>(members.size()));
     Observe(member, now, /*action=*/1, /*expired=*/false, detour);
+    if (track_trips_) {
+      trip.members.push_back({member, response, detour,
+                              now + pickup_delay + plan.completion[i]});
+    }
   }
   metrics_.AddWorkerTravel(pickup_delay + plan.total_cost);
   NodeId final_node = plan.route.stops.back().node;
-  fleet_.CommitClaim(worker_id, now + pickup_delay + plan.total_cost,
-                     final_node);
+  WATTER_CHECK_OK(fleet_.CommitClaim(
+      worker_id, now + pickup_delay + plan.total_cost, final_node));
+  if (track_trips_) {
+    trip.dispatch_time = now;
+    trip.travel = pickup_delay + plan.total_cost;
+    trip.group_size = static_cast<int>(members.size());
+    TrackTrip(worker_id, std::move(trip));
+  }
   for (const Order* member : members) {
     RemoveFromIndexes(*member);
     WATTER_CHECK_OK(pool_.Remove(member->id));
@@ -198,6 +282,15 @@ void WatterPlatform::RunCheck(Time now) {
     round_sample_ = obs::RoundSample{};
     round_start = std::chrono::steady_clock::now();
   }
+  std::chrono::steady_clock::time_point watchdog_start;
+  if (options_.watchdog_ms > 0.0) {
+    watchdog_start = std::chrono::steady_clock::now();
+  }
+
+  // Fault events due at this round boundary fire first, serially, so the
+  // snapshots below already see dropped/returned workers and the round runs
+  // under the current brownout factor.
+  ApplyFaults(now);
 
   PoolContext context{&demand_pickup_counts_, &demand_dropoff_counts_,
                       &supply_counts_};
@@ -234,13 +327,32 @@ void WatterPlatform::RunCheck(Time now) {
     pool_.RefreshBestGroups(ids, now);
   }
 
-  // Phase B: the decision/dispatch phase, in the configured engine.
-  if (options_.dispatch == DispatchMode::kBatched) {
-    RunDecisionLoopBatched(ids, now, context);
-  } else {
-    RunDecisionLoopSerial(ids, now, context);
+  // Overload-degradation pre-pass: when budgeting is armed, only the most
+  // urgent prefix of the pool bids this round; the rest is shed to the next
+  // round. Computed serially from frozen post-refresh state, so the shed
+  // set is a pure function of the round state (never of wall-clock).
+  std::vector<OrderId> budgeted;
+  const std::vector<OrderId>* propose_ids = &ids;
+  if (budgeting_) {
+    budgeted = BudgetedIds(ids, now);
+    propose_ids = &budgeted;
   }
 
+  // Phase B: the decision/dispatch phase, in the configured engine.
+  if (options_.dispatch == DispatchMode::kBatched) {
+    RunDecisionLoopBatched(ids, *propose_ids, now, context);
+  } else {
+    RunDecisionLoopSerial(ids, *propose_ids, now, context);
+    // The serial engine has no resolve/commit seam; late dropouts land
+    // after its decision loop instead.
+    ApplyLateFaults(now);
+  }
+
+  if (options_.watchdog_ms > 0.0) {
+    AdjustWatchdog(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - watchdog_start)
+                       .count());
+  }
   if (sampling_) {
     FinishRoundSample(now, std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - round_start)
@@ -248,9 +360,9 @@ void WatterPlatform::RunCheck(Time now) {
   }
 }
 
-void WatterPlatform::RunDecisionLoopSerial(const std::vector<OrderId>& ids,
-                                           Time now,
-                                           const PoolContext& context) {
+void WatterPlatform::RunDecisionLoopSerial(
+    const std::vector<OrderId>& ids, const std::vector<OrderId>& propose_ids,
+    Time now, const PoolContext& context) {
   // The sequential decision/dispatch loop. Each dispatch consumes workers
   // and removes partner orders, which changes the problem every later order
   // sees — that chained re-evaluation is this engine's semantics. The whole
@@ -258,13 +370,20 @@ void WatterPlatform::RunDecisionLoopSerial(const std::vector<OrderId>& ids,
   // propose/resolve/sweep split to attribute separately.
   WATTER_TRACE_SPAN("round.commit");
   PhaseTimer timer(sampling_, &round_sample_.commit_s);
+  // Shed orders (budget pre-pass) keep their arrival-order slot but skip
+  // all decision work — they only see the wait/expiry path below. With the
+  // budget off, propose_ids aliases ids and this stays a no-op.
+  const bool shedding = propose_ids.size() != ids.size();
+  std::unordered_set<OrderId> eligible;
+  if (shedding) eligible.insert(propose_ids.begin(), propose_ids.end());
   for (OrderId id : ids) {
     if (!pool_.Contains(id)) continue;  // Dispatched earlier this round.
     const Order* order = pool_.GetOrder(id);
     const Order order_copy = *order;  // Stable across pool mutation.
     bool dispatched = false;
+    const bool shed = shedding && eligible.count(id) == 0;
 
-    const BestGroup* group = pool_.BestFor(id, now);
+    const BestGroup* group = shed ? nullptr : pool_.BestFor(id, now);
     if (group != nullptr) {
       std::vector<const Order*> members;
       members.reserve(group->members.size());
@@ -297,13 +416,13 @@ void WatterPlatform::RunDecisionLoopSerial(const std::vector<OrderId>& ids,
           now > order_copy.WaitDeadline() &&
           rng_.Bernoulli(1.0 - std::exp(-options_.cancellation_hazard *
                                         options_.check_period))) {
-        RejectOrder(order_copy, now);
+        RejectOrder(order_copy, now, /*cancelled=*/true);
         continue;
       }
       if (now > order_copy.LatestDispatch()) {
         // No feasible service remains.
         RejectOrder(order_copy, now);
-      } else if (options_.solo_fallback && group == nullptr &&
+      } else if (!shed && options_.solo_fallback && group == nullptr &&
                  (now > order_copy.WaitDeadline() ||
                   now + options_.check_period > order_copy.LatestDispatch())) {
         // Watching window elapsed — or feasibility about to expire —
@@ -383,11 +502,11 @@ DispatchOffer WatterPlatform::ProposeOffer(
   // Bind the closest capacity-feasible idle worker; no worker, no bid.
   NodeId first_stop = offer.plan.route.stops.front().node;
   WorkerId worker_id =
-      fleet_.FindClosestIdle(first_stop, riders, scenario_->oracle.get(),
+      fleet_.FindClosestIdle(first_stop, riders, oracle_,
                              options_.worker_candidates);
   if (worker_id == kInvalidWorker) return offer;
   double pickup_delay =
-      scenario_->oracle->Cost(fleet_.worker(worker_id).location, first_stop);
+      oracle_->Cost(fleet_.worker(worker_id).location, first_stop);
   if (pickup_delay == kInfCost) return offer;
   offer.worker = worker_id;
   offer.pickup_delay = pickup_delay;
@@ -395,14 +514,23 @@ DispatchOffer WatterPlatform::ProposeOffer(
   return offer;
 }
 
-void WatterPlatform::CommitOffer(const DispatchOffer& offer, Time now) {
+Status WatterPlatform::CommitOffer(const DispatchOffer& offer, Time now) {
   // ResolveOffers guaranteed the worker unclaimed and every member still
-  // pooled, and the fleet only changes through committed offers, so the
-  // claim must succeed; a failure means resolution and fleet diverged.
-  WATTER_CHECK(fleet_.TryClaim(offer.worker),
-               "batched commit: offered worker not claimable");
+  // pooled, and the fleet only changes through committed offers — except
+  // when a late-dropout fault takes the worker offline between resolution
+  // and commit. That is a recoverable conflict: the offer is abandoned and
+  // its members stay pooled for the sweep.
+  if (!fleet_.TryClaim(offer.worker)) {
+    return Status::FailedPrecondition(
+        "batched commit: offered worker no longer claimable (worker " +
+        std::to_string(offer.worker) + ")");
+  }
+  ActiveTrip trip;
   for (size_t i = 0; i < offer.members.size(); ++i) {
     const Order* member = pool_.GetOrder(offer.members[i]);
+    // A missing member is a broken invariant (resolution guarantees member
+    // exclusivity; faults never remove pooled orders), not a recoverable
+    // condition.
     WATTER_CHECK(member != nullptr,
                  "batched commit: dispatched member left the pool");
     double response = now - member->release;
@@ -412,16 +540,28 @@ void WatterPlatform::CommitOffer(const DispatchOffer& offer, Time now) {
     metrics_.RecordServed(*member, response, detour,
                           static_cast<int>(offer.members.size()));
     Observe(*member, now, /*action=*/1, /*expired=*/false, detour);
+    if (track_trips_) {
+      trip.members.push_back({*member, response, detour,
+                              now + offer.pickup_delay +
+                                  offer.plan.completion[i]});
+    }
   }
   metrics_.AddWorkerTravel(offer.pickup_delay + offer.plan.total_cost);
-  fleet_.CommitClaim(offer.worker,
-                     now + offer.pickup_delay + offer.plan.total_cost,
-                     offer.plan.route.stops.back().node);
+  WATTER_CHECK_OK(fleet_.CommitClaim(
+      offer.worker, now + offer.pickup_delay + offer.plan.total_cost,
+      offer.plan.route.stops.back().node));
+  if (track_trips_) {
+    trip.dispatch_time = now;
+    trip.travel = offer.pickup_delay + offer.plan.total_cost;
+    trip.group_size = static_cast<int>(offer.members.size());
+    TrackTrip(offer.worker, std::move(trip));
+  }
   for (OrderId member : offer.members) {
     const Order* m = pool_.GetOrder(member);
     RemoveFromIndexes(*m);
     WATTER_CHECK_OK(pool_.Remove(member));
   }
+  return Status::Ok();
 }
 
 std::unordered_map<OrderId, double> WatterPlatform::PrecomputeThresholds(
@@ -450,32 +590,34 @@ std::unordered_map<OrderId, double> WatterPlatform::PrecomputeThresholds(
   return thresholds;
 }
 
-void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
-                                            Time now,
-                                            const PoolContext& context) {
+void WatterPlatform::RunDecisionLoopBatched(
+    const std::vector<OrderId>& ids, const std::vector<OrderId>& propose_ids,
+    Time now, const PoolContext& context) {
   // Serial prologue (shared with the sharded variant). Attributed to the
-  // propose phase: thresholds are inputs to the offers.
+  // propose phase: thresholds are inputs to the offers. Computed over the
+  // budget-eligible anchors only — their groups' members (which may include
+  // shed orders) all get thresholds.
   std::unordered_map<OrderId, double> thresholds;
   {
     WATTER_TRACE_SPAN("round.thresholds");
     PhaseTimer timer(sampling_, &round_sample_.propose_s);
-    thresholds = PrecomputeThresholds(ids, now, context);
+    thresholds = PrecomputeThresholds(propose_ids, now, context);
   }
 
   if (num_shards_ > 1) {
-    RunDecisionLoopSharded(ids, now, thresholds);
+    RunDecisionLoopSharded(ids, propose_ids, now, thresholds);
     return;
   }
 
-  // Parallel propose: one offer slot per pooled order, each a pure function
-  // of the frozen pool/fleet/threshold state (ordered-map pattern, see
-  // thread_pool.h).
+  // Parallel propose: one offer slot per eligible pooled order, each a pure
+  // function of the frozen pool/fleet/threshold state (ordered-map pattern,
+  // see thread_pool.h).
   std::vector<DispatchOffer> offers;
   {
     WATTER_TRACE_SPAN("round.propose");
     PhaseTimer timer(sampling_, &round_sample_.propose_s);
-    executor_.ParallelMap(ids.size(), 4, &offers, [&](size_t i) {
-      return ProposeOffer(ids[i], now, thresholds);
+    executor_.ParallelMap(propose_ids.size(), 4, &offers, [&](size_t i) {
+      return ProposeOffer(propose_ids[i], now, thresholds);
     });
   }
 
@@ -495,14 +637,23 @@ void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
     outcomes = ResolveOffers(&offers);
   }
   dispatch_stats_.offers += static_cast<int64_t>(offers.size());
+
+  // Late dropouts land on the resolve/commit seam: resolution has already
+  // picked winners against the pre-fault fleet, so a winner whose worker
+  // just vanished fails its claim below and is abandoned.
+  ApplyLateFaults(now);
+
   {
     WATTER_TRACE_SPAN("round.commit");
     PhaseTimer timer(sampling_, &round_sample_.commit_s);
     for (size_t i = 0; i < offers.size(); ++i) {
       switch (outcomes[i]) {
         case OfferOutcome::kCommitted:
-          ++dispatch_stats_.committed;
-          CommitOffer(offers[i], now);
+          if (CommitOffer(offers[i], now).ok()) {
+            ++dispatch_stats_.committed;
+          } else {
+            ++fault_stats_.aborted_commits;
+          }
           break;
         case OfferOutcome::kWorkerConflict:
           ++dispatch_stats_.worker_conflicts;
@@ -527,7 +678,7 @@ void WatterPlatform::RunDecisionLoopBatched(const std::vector<OrderId>& ids,
         now > order_copy.WaitDeadline() &&
         rng_.Bernoulli(1.0 - std::exp(-options_.cancellation_hazard *
                                       options_.check_period))) {
-      RejectOrder(order_copy, now);
+      RejectOrder(order_copy, now, /*cancelled=*/true);
       continue;
     }
     if (now > order_copy.LatestDispatch()) {
@@ -546,6 +697,7 @@ void WatterPlatform::CommitOfferStaged(
   // is copied out first so the bookkeeping half owns everything it records.
   std::vector<ServedMember> served;
   served.reserve(offer.members.size());
+  ActiveTrip trip;
   for (size_t i = 0; i < offer.members.size(); ++i) {
     const Order* member = pool_.GetOrder(offer.members[i]);
     WATTER_CHECK(member != nullptr,
@@ -555,11 +707,24 @@ void WatterPlatform::CommitOfferStaged(
     double detour =
         std::max(0.0, offer.plan.completion[i] - member->shortest_cost);
     served.push_back({*member, response, detour});
+    if (track_trips_) {
+      trip.members.push_back({*member, response, detour,
+                              now + offer.pickup_delay +
+                                  offer.plan.completion[i]});
+    }
   }
   double travel = offer.pickup_delay + offer.plan.total_cost;
   int group_size = static_cast<int>(offer.members.size());
-  fleet_.CommitClaim(offer.worker, now + travel,
-                     offer.plan.route.stops.back().node);
+  // The claim was staged by the caller and faults only fire at serial
+  // points outside the commit stage, so finalization must succeed.
+  WATTER_CHECK_OK(fleet_.CommitClaim(offer.worker, now + travel,
+                                     offer.plan.route.stops.back().node));
+  if (track_trips_) {
+    trip.dispatch_time = now;
+    trip.travel = travel;
+    trip.group_size = group_size;
+    TrackTrip(offer.worker, std::move(trip));
+  }
   for (OrderId member : offer.members) {
     RemoveFromIndexes(*pool_.GetOrder(member));
     WATTER_CHECK_OK(pool_.Remove(member));
@@ -592,9 +757,9 @@ void WatterPlatform::CommitOfferStaged(
 }
 
 void WatterPlatform::RejectOrderDeferred(
-    const Order& order, Time now,
+    const Order& order, Time now, bool cancelled,
     const std::shared_ptr<const RoundSnapshot>& snap) {
-  pipeline_->Enqueue([this, order, now, snap] {
+  pipeline_->Enqueue([this, order, now, cancelled, snap] {
     // Same observe-then-record sequence as RejectOrder.
     if (observer_) {
       DecisionObservation obs;
@@ -608,15 +773,19 @@ void WatterPlatform::RejectOrderDeferred(
       obs.supply = &snap->supply;
       observer_(obs);
     }
-    metrics_.RecordRejected(order);
+    if (cancelled) {
+      metrics_.RecordCancelled(order);
+    } else {
+      metrics_.RecordRejected(order);
+    }
   });
   RemoveFromIndexes(order);
   WATTER_CHECK_OK(pool_.Remove(order.id));
 }
 
 void WatterPlatform::RunDecisionLoopSharded(
-    const std::vector<OrderId>& ids, Time now,
-    const std::unordered_map<OrderId, double>& thresholds) {
+    const std::vector<OrderId>& ids, const std::vector<OrderId>& propose_ids,
+    Time now, const std::unordered_map<OrderId, double>& thresholds) {
   // Shard-bucketed propose: the same offer per order as the flat propose
   // (ProposeOffer is pure over frozen state), but walked shard by shard so
   // each shard's orders form one contiguous slice of the work list. The
@@ -630,9 +799,17 @@ void WatterPlatform::RunDecisionLoopSharded(
         num_shards_,
         [this](const Order& order) { return ShardOfNode(order.pickup); });
     std::vector<OrderId> flat_ids;
-    flat_ids.reserve(ids.size());
+    flat_ids.reserve(propose_ids.size());
+    // Budget shedding restricts the bid set; with the budget off,
+    // propose_ids covers the whole pool and the filter never fires.
+    const bool shedding = propose_ids.size() != ids.size();
+    std::unordered_set<OrderId> eligible;
+    if (shedding) eligible.insert(propose_ids.begin(), propose_ids.end());
     for (const std::vector<OrderId>& bucket : buckets) {
-      flat_ids.insert(flat_ids.end(), bucket.begin(), bucket.end());
+      for (OrderId id : bucket) {
+        if (shedding && eligible.count(id) == 0) continue;
+        flat_ids.push_back(id);
+      }
     }
     executor_.ParallelMap(flat_ids.size(), 4, &offers, [&](size_t i) {
       return ProposeOffer(flat_ids[i], now, thresholds);
@@ -665,10 +842,12 @@ void WatterPlatform::RunDecisionLoopSharded(
   dispatch_stats_.offers += static_cast<int64_t>(offers.size());
   dispatch_stats_.border_offers += resolution.border_offers;
   dispatch_stats_.border_affected += resolution.border_affected;
+  // Conflict outcomes are final here; committed is counted in the staging
+  // pass below, where a late-dropout fault can still abort a winner — so
+  // the committed total matches the unsharded engine under faults too.
   for (OfferOutcome outcome : resolution.outcomes) {
     switch (outcome) {
       case OfferOutcome::kCommitted:
-        ++dispatch_stats_.committed;
         break;
       case OfferOutcome::kWorkerConflict:
         ++dispatch_stats_.worker_conflicts;
@@ -678,6 +857,11 @@ void WatterPlatform::RunDecisionLoopSharded(
         break;
     }
   }
+
+  // Late dropouts land on the resolve/commit seam (same point as the
+  // unsharded engine): a winner whose worker just went offline fails its
+  // staging claim below and is abandoned.
+  ApplyLateFaults(now);
 
   // Deferred jobs outlive this round's live snapshot vectors, so observer
   // rounds pin a frozen copy; without an observer no job reads them.
@@ -693,29 +877,45 @@ void WatterPlatform::RunDecisionLoopSharded(
   // Two-stage commit. Stage: claim every winner's worker in the sorted
   // total order, tagged with its claim arena — the home shard for interior
   // winners, the dedicated border arena for reconciled ones — so an
-  // abandoned staging could be rolled back per shard (Fleet::ReleaseArena).
-  // Resolution guaranteed the winners conflict-free, so every claim must
-  // succeed; a failure means resolution and fleet state diverged.
+  // abandoned staging can be rolled back per shard (Fleet::ReleaseArena).
+  // Resolution guaranteed the winners conflict-free against the pre-fault
+  // fleet; a claim that fails anyway lost its worker to a late dropout and
+  // the offer is abandoned (its members stay pooled for the sweep).
   {
     WATTER_TRACE_SPAN("round.commit");
     PhaseTimer timer(sampling_, &round_sample_.commit_s);
     const int border_arena = num_shards_;
+    std::vector<bool> staged(offers.size(), false);
     for (size_t i = 0; i < offers.size(); ++i) {
       if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
       int arena = resolution.scopes[i] == OfferScope::kInterior
                       ? resolution.home_shards[i]
                       : border_arena;
-      WATTER_CHECK(fleet_.TryClaim(offers[i].worker, arena),
-                   "sharded commit: offered worker not claimable");
+      if (fleet_.TryClaim(offers[i].worker, arena)) {
+        staged[i] = true;
+      } else {
+        ++fault_stats_.aborted_commits;
+      }
     }
     // Apply: finalize the staged claims in the same sorted order, deferring
     // each winner's bookkeeping onto the pipeline.
     for (size_t i = 0; i < offers.size(); ++i) {
-      if (resolution.outcomes[i] != OfferOutcome::kCommitted) continue;
+      if (!staged[i]) continue;
+      ++dispatch_stats_.committed;
       CommitOfferStaged(offers[i], now, snap);
     }
-    WATTER_CHECK(fleet_.claimed_count() == 0,
-                 "sharded commit: staged claims left unfinalized");
+    // Every staged claim was finalized above; anything left is a staging
+    // leak. Roll it back (graceful degradation: the workers return to the
+    // idle set) rather than aborting the run, but make it loud.
+    if (fleet_.claimed_count() != 0) {
+      int leaked = 0;
+      for (int arena = 0; arena <= num_shards_; ++arena) {
+        leaked += fleet_.ReleaseArena(arena);
+      }
+      std::fprintf(stderr,
+                   "warning: sharded commit rolled back %d leaked claims\n",
+                   leaked);
+    }
   }
 
   // Serial post-sweep, same ascending-id order and hazard RNG sequence as
@@ -730,11 +930,11 @@ void WatterPlatform::RunDecisionLoopSharded(
         now > order_copy.WaitDeadline() &&
         rng_.Bernoulli(1.0 - std::exp(-options_.cancellation_hazard *
                                       options_.check_period))) {
-      RejectOrderDeferred(order_copy, now, snap);
+      RejectOrderDeferred(order_copy, now, /*cancelled=*/true, snap);
       continue;
     }
     if (now > order_copy.LatestDispatch()) {
-      RejectOrderDeferred(order_copy, now, snap);
+      RejectOrderDeferred(order_copy, now, /*cancelled=*/false, snap);
     } else if (observer_) {
       pipeline_->Enqueue([this, order_copy, now, snap] {
         DecisionObservation obs;
@@ -748,6 +948,206 @@ void WatterPlatform::RunDecisionLoopSharded(
         obs.supply = &snap->supply;
         observer_(obs);
       });
+    }
+  }
+}
+
+void WatterPlatform::ApplyFaults(Time now) {
+  if (injector_ == nullptr) return;
+  WATTER_TRACE_SPAN("round.faults");
+  for (const FaultEvent& event : injector_->TakeDue(now)) {
+    switch (event.kind) {
+      case FaultKind::kDropout:
+        HandleDropout(event.worker, now, /*late=*/false);
+        break;
+      case FaultKind::kReturn: {
+        // Benign no-op when the worker is not offline: its dropout hit an
+        // already-offline worker, or an overlapping return already fired.
+        Status status = fleet_.BringOnline(event.worker, now);
+        if (status.ok()) ++fault_stats_.returns;
+        break;
+      }
+      case FaultKind::kBrownoutStart:
+        ++brownout_depth_;
+        if (degraded_oracle_) {
+          degraded_oracle_->SetFactor(fault_spec_.brownout_factor);
+        }
+        break;
+      case FaultKind::kBrownoutEnd:
+        if (brownout_depth_ > 0) --brownout_depth_;
+        if (brownout_depth_ == 0 && degraded_oracle_) {
+          degraded_oracle_->SetFactor(1.0);
+        }
+        break;
+      case FaultKind::kStall:
+        // The stall is always counted (the schedule is engine-invariant);
+        // only the sharded batched engine has a pipeline to actually stall.
+        ++fault_stats_.stalls;
+        if (pipeline_) pipeline_->InjectStall(fault_spec_.stall_ms / 1000.0);
+        break;
+      case FaultKind::kLateDropout:
+        // Late dropouts live in their own queue (TakeLateDue); one showing
+        // up here means the injector's partitioning broke.
+        WATTER_CHECK(false, "late dropout in the round-boundary queue");
+        break;
+    }
+  }
+  if (brownout_depth_ > 0) ++fault_stats_.brownout_rounds;
+}
+
+void WatterPlatform::ApplyLateFaults(Time now) {
+  if (injector_ == nullptr) return;
+  for (const FaultEvent& event : injector_->TakeLateDue(now)) {
+    HandleDropout(event.worker, now, /*late=*/true);
+  }
+}
+
+void WatterPlatform::HandleDropout(WorkerId id, Time now, bool late) {
+  WorkerTake take = fleet_.TakeOffline(id);
+  if (take == WorkerTake::kOffline) return;  // Already down; nothing new.
+  if (late) {
+    ++fault_stats_.late_dropouts;
+  } else {
+    ++fault_stats_.dropouts;
+  }
+  if (take == WorkerTake::kBusy) {
+    ++fault_stats_.midroute_dropouts;
+    RecoverTrip(id, now);
+  }
+  // kIdle and kClaimed need no recovery: an evicted idle worker had no
+  // riders, and a discarded claim surfaces as a FailedPrecondition at the
+  // claim holder's CommitClaim (counted there as an aborted commit).
+}
+
+void WatterPlatform::RecoverTrip(WorkerId id, Time now) {
+  auto it = active_trips_.find(id);
+  // Dispatches overwrite the entry and only busy workers reach here, so
+  // the tracked trip is always the interrupted one.
+  WATTER_CHECK(it != active_trips_.end(),
+               "dropout recovery: no tracked trip for a busy worker");
+  ActiveTrip trip = std::move(it->second);
+  active_trips_.erase(it);
+
+  // Bookkeeping barrier: deferred RecordServed jobs for this trip must land
+  // before the reversal subtracts them (sharded engine only; recovery runs
+  // at a serial point, so a mid-round drain is safe).
+  if (pipeline_) pipeline_->Drain();
+
+  // The worker stops driving now: credit back the unfinished remainder of
+  // the recorded trip travel.
+  double elapsed = now - trip.dispatch_time;
+  double remaining = std::max(0.0, trip.travel - elapsed);
+  if (remaining > 0.0) metrics_.AddWorkerTravel(-remaining);
+
+  for (const AboardMember& member : trip.members) {
+    if (member.dropoff_time <= now) continue;  // Delivered before the drop.
+    metrics_.ReverseServed(member.order, member.response, member.detour,
+                           trip.group_size);
+    Order order = member.order;
+    // Grace-extended re-insert: the rider tolerates `grace` extra seconds
+    // after a dropout. If even the extended deadline leaves no feasible
+    // dispatch, the service has failed terminally — penalized with the
+    // ORIGINAL order's penalty, like a rejection.
+    order.deadline = std::max(order.deadline, now) + fault_spec_.grace;
+    if (order.LatestDispatch() >= now) {
+      InsertArrival(order, now);
+      ++fault_stats_.recovered_orders;
+    } else {
+      metrics_.RecordFailedService(member.order);
+      ++fault_stats_.failed_services;
+      Observe(member.order, now, /*action=*/0, /*expired=*/true, 0.0);
+    }
+  }
+}
+
+void WatterPlatform::TrackTrip(WorkerId worker, ActiveTrip trip) {
+  active_trips_[worker] = std::move(trip);
+}
+
+bool WatterPlatform::SoloEligible(const Order& order, Time now) const {
+  if (now > order.LatestDispatch()) return false;  // Reject, not solo.
+  return now > order.WaitDeadline() ||
+         now + options_.check_period > order.LatestDispatch();
+}
+
+int64_t WatterPlatform::EstimateWorkUnits(OrderId id, Time now) const {
+  // Mirrors what ProposeOffer would do for this order: a group bid costs
+  // the candidate probe plus the worker-candidate refinement; an eligible
+  // solo bid additionally pays a planner plan; everything else is one probe
+  // of bookkeeping. Estimated from the same frozen post-refresh caches the
+  // propose phase reads, so the charge is deterministic.
+  const Order* order = pool_.GetOrder(id);
+  if (order == nullptr) return 1;
+  if (pool_.PeekBest(id, now) != nullptr) {
+    return 1 + options_.worker_candidates;
+  }
+  if (options_.solo_fallback && SoloEligible(*order, now)) {
+    return 1 + kPlanWorkUnits + options_.worker_candidates;
+  }
+  return 1;
+}
+
+std::vector<OrderId> WatterPlatform::BudgetedIds(
+    const std::vector<OrderId>& ids, Time now) {
+  WATTER_TRACE_SPAN("round.budget");
+  // Urgency order: earliest latest-dispatch first, id as the tiebreak.
+  // Charging in this order means the budget always funds the orders
+  // closest to expiry.
+  std::vector<std::pair<Time, OrderId>> urgency;
+  urgency.reserve(ids.size());
+  for (OrderId id : ids) {
+    urgency.emplace_back(pool_.GetOrder(id)->LatestDispatch(), id);
+  }
+  std::sort(urgency.begin(), urgency.end());
+
+  const int64_t limit = effective_budget_;
+  int64_t spent = 0;
+  int64_t shed = 0;
+  std::vector<OrderId> eligible;
+  eligible.reserve(ids.size());
+  for (size_t i = 0; i < urgency.size(); ++i) {
+    OrderId id = urgency[i].second;
+    int64_t units = EstimateWorkUnits(id, now);
+    // Always fund at least one order per round — a budget below the
+    // cheapest single bid must still make progress.
+    if (limit > 0 && spent + units > limit && !eligible.empty()) {
+      shed = static_cast<int64_t>(urgency.size() - i);
+      break;
+    }
+    spent += units;
+    eligible.push_back(id);
+  }
+  round_units_ = spent;
+  fault_stats_.work_units += spent;
+  if (shed > 0) {
+    fault_stats_.shed_orders += shed;
+    ++fault_stats_.degraded_rounds;
+  }
+  // Ascending id: a canonical order for the engines' membership tests and
+  // the batched propose (conflict resolution re-sorts offers anyway).
+  std::sort(eligible.begin(), eligible.end());
+  return eligible;
+}
+
+void WatterPlatform::AdjustWatchdog(double round_ms) {
+  if (round_ms > options_.watchdog_ms) {
+    ++fault_stats_.watchdog_trips;
+    // Multiplicative decrease. When currently unlimited, start from what
+    // the overrun round actually spent (or a small floor if unknown).
+    int64_t base = effective_budget_ > 0
+                       ? effective_budget_
+                       : std::max(round_units_, int64_t{2} * kMinWatchdogBudget);
+    effective_budget_ = std::max(kMinWatchdogBudget, base / 2);
+  } else if (effective_budget_ > 0) {
+    // Additive-ish recovery: ~25% growth per compliant round, back toward
+    // the configured budget — or all the way to unlimited when none is set.
+    int64_t grown = effective_budget_ + effective_budget_ / 4 + 1;
+    if (work_budget_ > 0) {
+      effective_budget_ = std::min(grown, work_budget_);
+    } else if (grown > (int64_t{1} << 40)) {
+      effective_budget_ = 0;  // Fully recovered: unlimited again.
+    } else {
+      effective_budget_ = grown;
     }
   }
 }
@@ -792,6 +1192,17 @@ void WatterPlatform::FinishRoundSample(Time now, double total_seconds) {
                              base.geo_queries);
   sample.geo_batches = delta(scenario_->oracle->batch_count(),
                              base.geo_batches);
+  // Robustness columns: deltas of the cumulative fault counters, plus the
+  // current brownout state. All stay zero when faults/budget are off.
+  sample.fault_events = delta(fault_stats_.dropouts +
+                                  fault_stats_.late_dropouts +
+                                  fault_stats_.returns + fault_stats_.stalls,
+                              base.fault_events);
+  sample.recovered = delta(fault_stats_.recovered_orders, base.recovered);
+  sample.failed = delta(fault_stats_.failed_services, base.failed);
+  sample.shed = delta(fault_stats_.shed_orders, base.shed);
+  sample.degraded = brownout_depth_ > 0 ? 1 : 0;
+  sample.work_units = delta(fault_stats_.work_units, base.work_units);
 
   timeline_->Record(sample);
 
@@ -881,6 +1292,9 @@ MetricsReport WatterPlatform::Run() {
   // deterministic across threads AND shards; the border splits describe the
   // shard layout itself (metrics.h).
   report.dispatch = dispatch_stats_;
+  // Fault/degradation counters (all zero when faults and the budget are
+  // off). Deterministic except watchdog_trips (metrics.h).
+  report.faults = fault_stats_;
 
   // Export the observability artifacts last, after the pipeline drain and
   // the pool's final fan-in — every traced thread has synchronized with

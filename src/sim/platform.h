@@ -31,6 +31,7 @@
 #include "src/obs/timeline.h"
 #include "src/pool/order_pool.h"
 #include "src/sim/commit_pipeline.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/fleet.h"
 #include "src/strategy/decision.h"
 #include "src/strategy/threshold_provider.h"
@@ -104,6 +105,26 @@ struct SimOptions {
   /// Per-round timeline output path (JSON, or CSV for `.csv` paths). Empty
   /// = inherit WorkloadOptions::timeline_path. Same contract as trace_path.
   std::string timeline_path;
+  /// Deterministic fault-injection spec (docs/ROBUSTNESS.md grammar; CLI
+  /// `--faults`). Empty = inherit WorkloadOptions::faults. Faults-off runs
+  /// are byte-identical to a build without the robustness subsystem; a
+  /// fixed spec is bitwise deterministic across threads and shards.
+  std::string faults;
+  /// Per-round propose work budget, in deterministic work units (candidate
+  /// probes + planner plans — never wall-clock). When a round's pooled
+  /// orders would exceed it, the least-urgent tail in
+  /// latest-dispatch-then-id order is shed to the next round
+  /// (docs/ROBUSTNESS.md). 0 = inherit WorkloadOptions::round_work_budget;
+  /// negative forces unlimited even when the workload sets a budget.
+  int64_t round_work_budget = 0;
+  /// Opt-in wall-clock watchdog (CLI `--watchdog-ms`): when a check round
+  /// takes longer than this many milliseconds, the effective work budget
+  /// is halved (floored at a small minimum); compliant rounds grow it back
+  /// ~25% per round toward the configured budget (or unlimited). Inherently
+  /// wall-clock driven, so runs with a watchdog are excluded from the
+  /// bitwise-determinism contract — it exists for live CLI deployments,
+  /// not experiments. 0 disables.
+  double watchdog_ms = 0.0;
 };
 
 /// One observed per-order decision; the RL trainer consumes these to build
@@ -138,6 +159,17 @@ class WatterPlatform {
 
   const MetricsCollector& metrics() const { return metrics_; }
   const OrderPool& pool() const { return pool_; }
+  const Fleet& fleet() const { return fleet_; }
+
+  /// Fault/degradation counters accumulated so far (all zero when faults
+  /// and the work budget are off). Tests read these between/after runs.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// The fault injector, or nullptr when the resolved spec is inert.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// The commit pipeline (sharded batched engine only; else nullptr).
+  const CommitPipeline* commit_pipeline() const { return pipeline_.get(); }
 
   /// The per-round timeline, populated only when a timeline path was
   /// resolved (SimOptions or WorkloadOptions); nullptr otherwise. Valid for
@@ -155,24 +187,46 @@ class WatterPlatform {
     std::vector<int> supply;
   };
 
+  /// One rider group aboard a dispatched worker, kept (only while dropouts
+  /// are scheduled) so a mid-route dropout can reverse the not-yet-delivered
+  /// members' bookkeeping and re-pool them (docs/ROBUSTNESS.md).
+  struct AboardMember {
+    Order order;
+    double response = 0.0;
+    double detour = 0.0;
+    Time dropoff_time = 0.0;  ///< When this member's drop-off completes.
+  };
+  struct ActiveTrip {
+    Time dispatch_time = 0.0;
+    double travel = 0.0;  ///< Worker travel recorded for this trip.
+    int group_size = 1;
+    std::vector<AboardMember> members;
+  };
+
   void InsertArrival(const Order& order, Time now);
   void RunCheck(Time now);
   /// The sequential decision/dispatch loop (DispatchMode::kSerial).
-  void RunDecisionLoopSerial(const std::vector<OrderId>& ids, Time now,
+  /// `propose_ids` is the budget-eligible subset of `ids` (== `ids` when
+  /// the work budget is off); shed orders only get the wait/expiry path.
+  void RunDecisionLoopSerial(const std::vector<OrderId>& ids,
+                             const std::vector<OrderId>& propose_ids, Time now,
                              const PoolContext& context);
   /// The batched engine (DispatchMode::kBatched): parallel offer propose,
   /// sorted-offers conflict resolution, serial commit, serial post-sweep.
   /// Runs the serial threshold prologue, then hands off to the sharded
-  /// variant when `num_shards_ > 1`.
-  void RunDecisionLoopBatched(const std::vector<OrderId>& ids, Time now,
-                              const PoolContext& context);
+  /// variant when `num_shards_ > 1`. Only `propose_ids` bid; the sweep
+  /// walks all of `ids`.
+  void RunDecisionLoopBatched(const std::vector<OrderId>& ids,
+                              const std::vector<OrderId>& propose_ids,
+                              Time now, const PoolContext& context);
   /// The region-sharded, pipelined variant of the batched decision phase
   /// (docs/DISPATCH.md): shard-bucketed propose, ResolveOffersSharded with
   /// per-shard parallel scans + serial border reconciliation, arena-staged
   /// two-stage commit, and bookkeeping deferred onto `pipeline_` so it
   /// overlaps the next round's maintenance and propose phases.
   void RunDecisionLoopSharded(
-      const std::vector<OrderId>& ids, Time now,
+      const std::vector<OrderId>& ids,
+      const std::vector<OrderId>& propose_ids, Time now,
       const std::unordered_map<OrderId, double>& thresholds);
   /// Serial prologue shared by both batched variants: thresholds for every
   /// order appearing in some cached best group, queried in ascending id
@@ -187,8 +241,11 @@ class WatterPlatform {
       OrderId id, Time now,
       const std::unordered_map<OrderId, double>& thresholds);
   /// Commits one resolved offer: claims its worker, records metrics, and
-  /// removes the members from the pool.
-  void CommitOffer(const DispatchOffer& offer, Time now);
+  /// removes the members from the pool. FailedPrecondition when the worker
+  /// is no longer claimable (a late-dropout fault took it offline between
+  /// resolution and commit); the offer is then abandoned and its members
+  /// stay pooled for the sweep.
+  Status CommitOffer(const DispatchOffer& offer, Time now);
   /// Sharded-commit apply step for one winning offer whose worker was
   /// already staged via TryClaim: enqueues the bookkeeping (metrics +
   /// observer) on `pipeline_`, finalizes the claim, and removes the members
@@ -196,15 +253,45 @@ class WatterPlatform {
   void CommitOfferStaged(const DispatchOffer& offer, Time now,
                          const std::shared_ptr<const RoundSnapshot>& snap);
   /// RejectOrder with the bookkeeping half deferred onto `pipeline_`.
-  void RejectOrderDeferred(const Order& order, Time now,
+  void RejectOrderDeferred(const Order& order, Time now, bool cancelled,
                            const std::shared_ptr<const RoundSnapshot>& snap);
   /// Grid region of `node` under the `num_shards_` partition.
   int ShardOfNode(NodeId node) const;
   /// Attempts to dispatch `members` on `plan`; true on success.
   bool TryDispatch(const std::vector<const Order*>& members,
                    const GroupPlan& plan, Time now);
-  void RejectOrder(const Order& order, Time now);
+  /// `cancelled` marks a rider-hazard cancellation (same penalties, broken
+  /// out in the metrics as a subset of rejections).
+  void RejectOrder(const Order& order, Time now, bool cancelled = false);
   void RemoveFromIndexes(const Order& order);
+  /// Applies every fault event due at this round boundary (serial phase):
+  /// dropouts/returns, brownout window toggles, pipeline stalls.
+  void ApplyFaults(Time now);
+  /// Applies due late-dropout events — between conflict resolution and
+  /// commit in the batched engines, after the decision loop in the serial
+  /// engine.
+  void ApplyLateFaults(Time now);
+  /// Takes one worker offline and, when it was mid-route, recovers the
+  /// interrupted trip (reverse bookkeeping, re-pool or fail the riders).
+  void HandleDropout(WorkerId id, Time now, bool late);
+  void RecoverTrip(WorkerId id, Time now);
+  /// Remembers a dispatched trip for dropout recovery (only while dropouts
+  /// are scheduled; otherwise trips are not tracked at all).
+  void TrackTrip(WorkerId worker, ActiveTrip trip);
+  /// Estimated propose-phase work units for one pooled order (candidate
+  /// probes + planner plans), from frozen post-refresh state.
+  int64_t EstimateWorkUnits(OrderId id, Time now) const;
+  /// Solo-fallback eligibility shared by ProposeOffer, the serial loop and
+  /// the work-unit estimator.
+  bool SoloEligible(const Order& order, Time now) const;
+  /// The budget pre-pass: charges estimated work units in latest-dispatch-
+  /// then-id order and returns the eligible prefix (ascending id). Sheds
+  /// the rest to the next round, updating the shed/degraded counters. Only
+  /// called when budgeting is on.
+  std::vector<OrderId> BudgetedIds(const std::vector<OrderId>& ids, Time now);
+  /// Wall-clock watchdog (CLI opt-in): halve the effective budget after an
+  /// overrun round, recover it gradually on compliant rounds.
+  void AdjustWatchdog(double round_ms);
   void Observe(const Order& order, Time now, int action, bool expired,
                double detour);
   /// Closes the current RoundSample: end-of-round state, dispatch/counter
@@ -217,6 +304,14 @@ class WatterPlatform {
   SimOptions options_;
   // Resolved shard count (>= 1) for the batched commit pass.
   int num_shards_ = 1;
+  // Fault-injection state (docs/ROBUSTNESS.md), declared before the pool:
+  // oracle_ is the effective cost source every platform query (pool
+  // planning included) goes through — the degraded wrapper whenever
+  // brownouts are scheduled, the scenario's oracle otherwise.
+  FaultSpec fault_spec_;
+  std::unique_ptr<FaultInjector> injector_;          // null = faults off.
+  std::unique_ptr<DegradedOracle> degraded_oracle_;  // Brownouts only.
+  TravelTimeOracle* oracle_ = nullptr;
   // Declared before the pool and fleet that borrow it, so it outlives them.
   ThreadPool executor_;
   OrderPool pool_;
@@ -229,6 +324,23 @@ class WatterPlatform {
   std::unique_ptr<CommitPipeline> pipeline_;
   // Batched-engine work counters, copied into MetricsReport::dispatch.
   DispatchStats dispatch_stats_;
+  // Fault/degradation counters, copied into MetricsReport::faults.
+  FaultStats fault_stats_;
+  // In-flight trips for dropout recovery, keyed by worker; populated only
+  // while dropouts are scheduled (track_trips_). Entries are overwritten on
+  // re-dispatch and erased on recovery; entries of naturally completed
+  // trips linger harmlessly (bounded by fleet size) until overwritten.
+  std::unordered_map<WorkerId, ActiveTrip> active_trips_;
+  bool track_trips_ = false;
+  int brownout_depth_ = 0;  // Open brownout windows right now.
+  // Overload-degradation state: budgeting_ arms the budget pre-pass
+  // (configured budget and/or watchdog); effective_budget_ is what the
+  // current round enforces (0 = unlimited) and differs from work_budget_
+  // only while the watchdog has it clamped.
+  bool budgeting_ = false;
+  int64_t work_budget_ = 0;
+  int64_t effective_budget_ = 0;
+  int64_t round_units_ = 0;  // Work units charged in the last budget pass.
   // Observability (all inert unless the run resolved a trace/timeline
   // path; see docs/OBSERVABILITY.md). The sampler is allocated up front so
   // `sampling_` is one bool test on the round path; `round_sample_` is the

@@ -63,6 +63,17 @@ struct WorkloadOptions {
   /// `.csv`). Same no-perturbation contract as trace_path. SimOptions can
   /// override.
   std::string timeline_path;
+  /// Deterministic fault-injection spec (CLI `--faults`;
+  /// docs/ROBUSTNESS.md grammar, e.g. "dropouts=5;brownouts=2;seed=7").
+  /// Empty disables fault injection entirely — the platform then runs
+  /// byte-for-byte as before the robustness subsystem existed. SimOptions
+  /// can override.
+  std::string faults;
+  /// Per-round propose work budget in deterministic work units (candidate
+  /// probes + planner plans; CLI `--budget`). When a round's pooled orders
+  /// would exceed it, the least-urgent tail (latest-dispatch-then-id order)
+  /// is shed to the next round. 0 = unlimited. SimOptions can override.
+  int64_t round_work_budget = 0;
 };
 
 /// A ready-to-run simulation input. The city is heap-pinned so oracles that

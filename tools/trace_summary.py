@@ -112,6 +112,13 @@ def summarize_trace(spans, thread_names, dropped, top):
 PHASES = ("maintenance_s", "refresh_s", "propose_s", "resolve_s",
           "commit_s", "sweep_s")
 
+# Robustness columns (docs/ROBUSTNESS.md): per-round fault/recovery event
+# counts and overload-shedding counters. All are summed into totals, so the
+# cross-check below catches the RoundSample struct and the timeline field
+# table drifting apart (a new column wired into one but not the other).
+FAULT_COLUMNS = ("fault_events", "recovered", "failed", "shed", "degraded",
+                 "work_units")
+
 
 def validate_timeline(timeline):
     if not isinstance(timeline, dict) or "rounds" not in timeline:
@@ -120,15 +127,23 @@ def validate_timeline(timeline):
     if not isinstance(rounds, list) or not rounds:
         fail("timeline has no rounds")
     for sample in rounds:
-        for key in ("round", "pool_size", "total_s"):
+        for key in ("round", "pool_size", "total_s") + FAULT_COLUMNS:
             if key not in sample:
                 fail(f"round sample missing {key!r}")
+        for key in FAULT_COLUMNS:
+            if not isinstance(sample[key], int) or sample[key] < 0:
+                fail(f"round sample has non-count {key!r}: {sample[key]!r}")
     totals = timeline.get("totals")
     if not isinstance(totals, dict):
         fail("timeline missing totals")
     if totals.get("round") != len(rounds):
         fail(f"totals.round = {totals.get('round')} but "
              f"{len(rounds)} round samples")
+    for key in FAULT_COLUMNS:
+        summed = sum(r[key] for r in rounds)
+        if totals.get(key) != summed:
+            fail(f"totals.{key} = {totals.get(key)} but round samples "
+                 f"sum to {summed}")
     return rounds, totals
 
 
@@ -144,6 +159,14 @@ def summarize_timeline(rounds, totals):
         print(f"  {phase:<16} {seconds:>9.3f}s {share:>6.1f}%")
     top_phase, top_seconds = max(phase_totals, key=lambda kv: kv[1])
     print(f"top phase: {top_phase} ({top_seconds:.3f}s)")
+    # Robustness rollup: silent on a faultless, unbudgeted run.
+    if any(totals.get(key, 0) for key in FAULT_COLUMNS):
+        print(f"faults: {totals.get('fault_events', 0)} events, "
+              f"{totals.get('recovered', 0)} orders recovered, "
+              f"{totals.get('failed', 0)} failed services; "
+              f"shedding: {totals.get('shed', 0)} orders over "
+              f"{totals.get('degraded', 0)} degraded rounds, "
+              f"{totals.get('work_units', 0)} work units")
 
 
 def main():

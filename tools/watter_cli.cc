@@ -34,6 +34,19 @@
 //   round's propose. Metrics are identical for any N (the sharded pass is
 //   bitwise-equal to the global one); ignored by --dispatch serial.
 //
+// Robustness flags (docs/ROBUSTNESS.md):
+//   --faults SPEC — deterministic fault injection, e.g.
+//   "dropouts=5;brownouts=2;seed=7". Worker dropouts/returns, oracle
+//   brownouts, and pipeline stalls fire from a precomputed seeded schedule,
+//   so a fixed spec is bitwise reproducible across threads and shards.
+//   Empty (the default) disables fault injection entirely.
+//   --budget N — per-round propose work budget in deterministic work units
+//   (candidate probes + planner plans); overloaded rounds shed their
+//   least-urgent tail to the next round. 0 = unlimited.
+//   --watchdog-ms MS — opt-in wall-clock watchdog: rounds slower than MS
+//   halve the effective work budget, compliant rounds grow it back. Wall-
+//   clock driven, so excluded from the determinism contract.
+//
 // Observability flags (docs/OBSERVABILITY.md; all run-neutral — metrics are
 // bitwise identical whether they are set or not):
 //   --trace FILE — export a Chrome trace-event JSON of the run (load in
@@ -94,6 +107,9 @@ struct CliArgs {
                "                  --dispatch serial|batched (default batched)\n"
                "                  --geo per-query|bucket (default bucket)\n"
                "                  --shards N (default 1 = unsharded commit)\n"
+               "  robustness:     --faults SPEC (docs/ROBUSTNESS.md grammar)\n"
+               "                  --budget N (per-round propose work units)\n"
+               "                  --watchdog-ms MS (wall-clock budget clamp)\n"
                "  observability:  --trace FILE (Chrome trace-event JSON)\n"
                "                  --timeline FILE (per-round JSON; .csv = CSV)\n"
                "                  --metrics-json FILE (full report as JSON)\n");
@@ -175,6 +191,19 @@ CliArgs Parse(int argc, char** argv) {
       args.model_path = need_value("--model");
     } else if (std::strcmp(argv[i], "--out") == 0) {
       args.out_dir = need_value("--out");
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      std::string spec = need_value("--faults");
+      Result<FaultSpec> parsed = ParseFaultSpec(spec);
+      if (!parsed.ok()) {
+        Usage(("--faults: " + parsed.status().ToString()).c_str());
+      }
+      args.workload.faults = spec;
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      args.workload.round_work_budget = std::atoll(need_value("--budget"));
+    } else if (std::strcmp(argv[i], "--watchdog-ms") == 0) {
+      double ms = std::atof(need_value("--watchdog-ms"));
+      if (ms < 0.0) Usage("--watchdog-ms needs a non-negative value");
+      args.sim.watchdog_ms = ms;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       args.workload.trace_path = need_value("--trace");
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
@@ -234,6 +263,39 @@ void PrintReport(const std::string& name, const MetricsReport& report) {
     pool.AddRow({"reverse-index fan-out",
                  std::to_string(report.pool.reverse_index_fanout)});
     pool.Print();
+  }
+  // Fault-injection / degradation counters — only when something fired
+  // (docs/ROBUSTNESS.md). Deterministic except the watchdog trips.
+  const FaultStats& faults = report.faults;
+  if (faults.dropouts + faults.late_dropouts + faults.returns +
+          faults.brownout_rounds + faults.stalls + faults.shed_orders +
+          faults.watchdog_trips >
+      0) {
+    Table fault_table({"fault counter", "value"});
+    fault_table.AddRow({"worker dropouts", std::to_string(faults.dropouts)});
+    fault_table.AddRow({"  mid-route (riders aboard)",
+                        std::to_string(faults.midroute_dropouts)});
+    fault_table.AddRow({"late dropouts (resolve/commit)",
+                        std::to_string(faults.late_dropouts)});
+    fault_table.AddRow({"worker returns", std::to_string(faults.returns)});
+    fault_table.AddRow({"brownout rounds",
+                        std::to_string(faults.brownout_rounds)});
+    fault_table.AddRow({"pipeline stalls", std::to_string(faults.stalls)});
+    fault_table.AddRow({"orders recovered",
+                        std::to_string(faults.recovered_orders)});
+    fault_table.AddRow({"failed services",
+                        std::to_string(faults.failed_services)});
+    fault_table.AddRow({"aborted commits",
+                        std::to_string(faults.aborted_commits)});
+    fault_table.AddRow({"orders shed (budget)",
+                        std::to_string(faults.shed_orders)});
+    fault_table.AddRow({"degraded rounds",
+                        std::to_string(faults.degraded_rounds)});
+    fault_table.AddRow({"work units charged",
+                        std::to_string(faults.work_units)});
+    fault_table.AddRow({"watchdog trips",
+                        std::to_string(faults.watchdog_trips)});
+    fault_table.Print();
   }
   // Travel-time-oracle work counters (diagnostic, not deterministic:
   // metrics.h, GeoStats). Batch rows only appear once a batch ran.
